@@ -1,0 +1,238 @@
+// Package autostats is an automated statistics-management toolkit for
+// cost-based query optimizers, reproducing Chaudhuri & Narasayya,
+// "Automating Statistics Management for Query Optimizers" (ICDE 2000).
+//
+// It bundles a complete substrate — an in-memory relational engine with a
+// histogram-driven cost-based optimizer, a skewed TPC-D data generator and a
+// Rags-like workload generator — with the paper's contribution: algorithms
+// that decide WHICH statistics an optimizer actually needs.
+//
+//   - Candidate statistics (§7.1): prune the exponential space of
+//     syntactically relevant single- and multi-column statistics.
+//   - MNSA (§4): magic number sensitivity analysis — decide whether more
+//     statistics can matter without building them, by re-optimizing with
+//     missing-statistics selectivities pinned to ε and 1−ε.
+//   - MNSA/D (§5.1): interleave creation with non-essential detection.
+//   - Shrinking Set (§5.2): reduce to a guaranteed essential set.
+//   - Policies (§6): on-the-fly auto-tuning, offline tuning, drop-lists,
+//     aging, and SQL Server 7.0-style update/drop maintenance.
+//
+// Quickstart:
+//
+//	sys, _ := autostats.GenerateTPCD(autostats.TPCDOptions{Skew: 2})
+//	rep, _ := sys.TuneWorkload([]string{
+//	    "SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45",
+//	}, autostats.TuneOptions{})
+//	fmt.Println(rep.Created)
+package autostats
+
+import (
+	"fmt"
+	"strings"
+
+	"autostats/internal/catalog"
+	"autostats/internal/core"
+	"autostats/internal/datagen"
+	"autostats/internal/executor"
+	"autostats/internal/histogram"
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/sqlparser"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+// System is a database with its statistics manager, optimizer and executor —
+// the unit everything else operates on. It is not safe for concurrent use.
+type System struct {
+	db   *storage.Database
+	mgr  *stats.Manager
+	sess *optimizer.Session
+	ex   *executor.Executor
+	auto *core.AutoManager
+}
+
+// TPCDOptions configures the skewed TPC-D generator ([17] in the paper).
+type TPCDOptions struct {
+	// Scale multiplies base row counts (1.0 ≈ 8.7k rows total). 0 means 1.
+	Scale float64
+	// Skew is the Zipfian z parameter for every column, 0 (uniform) to 4.
+	Skew float64
+	// Mix assigns each column a random skew in [0,4] (TPCD_MIX); overrides
+	// Skew.
+	Mix bool
+	// Seed defaults to 42.
+	Seed int64
+	// HistogramKind selects "maxdiff" (default) or "equidepth".
+	HistogramKind string
+	// HistogramBuckets caps histogram buckets (default 200).
+	HistogramBuckets int
+}
+
+// GenerateTPCD creates a fully loaded skewed TPC-D system.
+func GenerateTPCD(opts TPCDOptions) (*System, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	db, err := datagen.Generate(datagen.Config{
+		Scale: opts.Scale, Z: opts.Skew, Mix: opts.Mix, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kind := histogram.MaxDiff
+	switch strings.ToLower(opts.HistogramKind) {
+	case "", "maxdiff":
+	case "equidepth", "equi-depth":
+		kind = histogram.EquiDepth
+	default:
+		return nil, fmt.Errorf("autostats: unknown histogram kind %q", opts.HistogramKind)
+	}
+	return newSystem(db, kind, opts.HistogramBuckets), nil
+}
+
+func newSystem(db *storage.Database, kind histogram.Kind, buckets int) *System {
+	mgr := stats.NewManager(db, kind, buckets)
+	sess := optimizer.NewSession(mgr)
+	ex := executor.New(db)
+	return &System{db: db, mgr: mgr, sess: sess, ex: ex, auto: core.NewAutoManager(sess, ex)}
+}
+
+// Schema returns the underlying schema (read-only use intended).
+func (s *System) Schema() *catalog.Schema { return s.db.Schema }
+
+// QueryResult is the outcome of executing one SQL statement.
+type QueryResult struct {
+	// Columns names the output columns ("table.column"), in position order.
+	Columns []string
+	// Rows holds the output values rendered as SQL literals.
+	Rows [][]string
+	// ExecCost is the execution cost in deterministic work units.
+	ExecCost float64
+	// EstimatedCost is the optimizer's estimate (0 for DML).
+	EstimatedCost float64
+	// Plan is the executed plan, pretty-printed (empty for DML).
+	Plan string
+	// Affected counts DML-affected rows.
+	Affected int
+}
+
+// Exec parses, optimizes and executes one SQL statement.
+func (s *System) Exec(sql string) (*QueryResult, error) {
+	stmt, err := sqlparser.Parse(s.db.Schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	if q, ok := stmt.(*query.Select); ok {
+		plan, err := s.sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.ex.Run(plan)
+		if err != nil {
+			return nil, err
+		}
+		return renderResult(res, plan), nil
+	}
+	res, err := s.ex.RunStatement(s.sess, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{ExecCost: res.Cost, Affected: res.Affected}, nil
+}
+
+func renderResult(res *executor.Result, plan *optimizer.Plan) *QueryResult {
+	cols := make([]string, len(res.Cols))
+	for name, pos := range res.Cols {
+		if pos >= 0 && pos < len(cols) {
+			cols[pos] = name
+		}
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out := make([]string, len(r))
+		for j, d := range r {
+			out[j] = d.String()
+		}
+		rows[i] = out
+	}
+	return &QueryResult{
+		Columns:       cols,
+		Rows:          rows,
+		ExecCost:      res.Cost,
+		EstimatedCost: plan.Cost(),
+		Plan:          plan.Format(),
+	}
+}
+
+// Explain returns the chosen plan for a SELECT without executing it.
+func (s *System) Explain(sql string) (string, error) {
+	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := s.sess.Optimize(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(), nil
+}
+
+// StatInfo describes one existing statistic.
+type StatInfo struct {
+	ID         string
+	Table      string
+	Columns    []string
+	Rows       int64
+	Distinct   int64
+	Buckets    int
+	InDropList bool
+	Updates    int
+}
+
+// Statistics lists all existing statistics in ID order.
+func (s *System) Statistics() []StatInfo {
+	var out []StatInfo
+	for _, st := range s.mgr.All() {
+		out = append(out, StatInfo{
+			ID:         string(st.ID),
+			Table:      st.Table,
+			Columns:    append([]string(nil), st.Columns...),
+			Rows:       st.Data.Rows,
+			Distinct:   st.Data.Leading.Distinct,
+			Buckets:    len(st.Data.Leading.Buckets),
+			InDropList: st.InDropList,
+			Updates:    st.UpdateCount,
+		})
+	}
+	return out
+}
+
+// CreateStatistic builds a statistic on table(columns...) explicitly.
+func (s *System) CreateStatistic(table string, columns ...string) error {
+	_, err := s.mgr.Create(table, columns)
+	return err
+}
+
+// DropStatistic physically removes a statistic.
+func (s *System) DropStatistic(table string, columns ...string) bool {
+	return s.mgr.Drop(stats.MakeID(table, columns))
+}
+
+// SetAgingWindow sets the aging window (§6) in logical ticks: statistics
+// physically dropped within the window are not re-created for inexpensive
+// queries when tuning with UseAging. Zero disables aging.
+func (s *System) SetAgingWindow(ticks int64) {
+	s.mgr.AgingWindow = ticks
+}
+
+// CreateIndexedColumnStats builds single-column statistics on every indexed
+// column — the "tuned database" baseline of the paper's §1 experiment.
+func (s *System) CreateIndexedColumnStats() error {
+	for _, ix := range s.db.Schema.Indexes {
+		if _, err := s.mgr.Create(ix.Table, []string{ix.Column}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Command autostatsql is an interactive shell over a skewed TPC-D database
+// with automatic statistics management. SQL statements execute directly;
+// dot-commands drive the paper's machinery:
+//
+//	EXPLAIN <select>       show the chosen plan without executing
+//	TUNE <select>          run MNSA for the query (creates statistics)
+//	.stats                 list statistics (drop-listed ones marked)
+//	.auto on|off           toggle on-the-fly mode (MNSA before every SELECT)
+//	.maintenance           run the update/drop maintenance policy once
+//	.help                  command summary
+//	.quit                  exit
+//
+// Usage:
+//
+//	autostatsql -db TPCD_2 -scale 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"autostats"
+)
+
+func main() {
+	var (
+		dbName = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+		scale  = flag.Float64("scale", 0.5, "database scale factor")
+		seed   = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	var opts autostats.TPCDOptions
+	opts.Scale = *scale
+	opts.Seed = *seed
+	switch *dbName {
+	case "TPCD_0":
+		opts.Skew = 0
+	case "TPCD_2":
+		opts.Skew = 2
+	case "TPCD_4":
+		opts.Skew = 4
+	case "TPCD_MIX":
+		opts.Mix = true
+	default:
+		fmt.Fprintf(os.Stderr, "autostatsql: unknown database %q\n", *dbName)
+		os.Exit(2)
+	}
+	sys, err := autostats.GenerateTPCD(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autostatsql:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("autostatsql — %s at scale %.2f. Type .help for commands.\n", *dbName, *scale)
+	if err := runREPL(sys, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "autostatsql:", err)
+		os.Exit(1)
+	}
+}
+
+// maxRowsShown caps result printing.
+const maxRowsShown = 20
+
+// runREPL drives the shell; it is I/O-parameterized for testing.
+func runREPL(sys *autostats.System, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	autoMode := false
+	prompt := func() { fmt.Fprint(out, "> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "."):
+			if quit := dotCommand(sys, out, line, &autoMode); quit {
+				return nil
+			}
+		case hasPrefixFold(line, "EXPLAIN "):
+			plan, err := sys.Explain(strings.TrimSpace(line[len("EXPLAIN "):]))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprint(out, plan)
+			}
+		case hasPrefixFold(line, "TUNE "):
+			rep, err := sys.TuneQuery(strings.TrimSpace(line[len("TUNE "):]), autostats.TuneOptions{})
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "created %d statistics (%d optimizer calls):\n", len(rep.Created), rep.OptimizerCalls)
+			for _, id := range rep.Created {
+				fmt.Fprintln(out, "  ", id)
+			}
+		default:
+			runStatement(sys, out, line, autoMode)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func runStatement(sys *autostats.System, out io.Writer, sql string, autoMode bool) {
+	var res *autostats.QueryResult
+	var err error
+	if autoMode {
+		res, err = sys.ProcessStatement(sql)
+	} else {
+		res, err = sys.Exec(sql)
+	}
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if res.Rows == nil && res.Columns == nil {
+		fmt.Fprintf(out, "ok: %d row(s) affected, cost %.0f\n", res.Affected, res.ExecCost)
+		return
+	}
+	fmt.Fprintln(out, strings.Join(res.Columns, " | "))
+	for i, r := range res.Rows {
+		if i == maxRowsShown {
+			fmt.Fprintf(out, "... (%d more rows)\n", len(res.Rows)-maxRowsShown)
+			break
+		}
+		fmt.Fprintln(out, strings.Join(r, " | "))
+	}
+	fmt.Fprintf(out, "(%d rows, exec cost %.0f, estimated %.0f)\n", len(res.Rows), res.ExecCost, res.EstimatedCost)
+}
+
+func dotCommand(sys *autostats.System, out io.Writer, line string, autoMode *bool) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Fprint(out, `SQL statements run directly. Commands:
+  EXPLAIN <select>   show the plan without executing
+  TUNE <select>      run MNSA for the query
+  .stats             list statistics
+  .auto on|off       toggle on-the-fly statistics management
+  .maintenance       run the maintenance policy once
+  .quit              exit
+`)
+	case ".stats":
+		infos := sys.Statistics()
+		if len(infos) == 0 {
+			fmt.Fprintln(out, "(no statistics)")
+		}
+		for _, si := range infos {
+			marker := ""
+			if si.InDropList {
+				marker = "  [drop-list]"
+			}
+			fmt.Fprintf(out, "%-45s %7d rows %6d distinct %3d buckets%s\n",
+				si.ID, si.Rows, si.Distinct, si.Buckets, marker)
+		}
+	case ".auto":
+		if len(fields) == 2 && fields[1] == "on" {
+			*autoMode = true
+			fmt.Fprintln(out, "on-the-fly statistics management ON")
+		} else if len(fields) == 2 && fields[1] == "off" {
+			*autoMode = false
+			fmt.Fprintln(out, "on-the-fly statistics management OFF")
+		} else {
+			fmt.Fprintln(out, "usage: .auto on|off")
+		}
+	case ".maintenance":
+		refreshed, dropped, err := sys.RunMaintenance()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "maintenance: %d tables refreshed, %d statistics dropped\n", refreshed, dropped)
+	default:
+		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}

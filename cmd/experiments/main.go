@@ -1,0 +1,209 @@
+// Command experiments regenerates every table and figure of the paper's §8
+// evaluation (plus the §1 motivating experiment and the DESIGN.md ablations)
+// on freshly generated skewed TPC-D databases.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig4 -workload U0-C-100 -scale 0.5 -seed 1
+//
+// Experiments: intro, fig3, fig4, fig4sc, table1, ablation-t, ablation-eps,
+// ablation-next, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autostats/internal/bench"
+	"autostats/internal/core"
+	"autostats/internal/datagen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		scale    = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		wl       = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
+		dbs      = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
+		introDB  = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
+		introScl = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
+	)
+	flag.Parse()
+
+	dbList := strings.Split(*dbs, ",")
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("intro", func() error { return runIntro(*introDB, *introScl) })
+	run("fig3", func() error { return runFig3(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed) })
+	run("fig4", func() error { return runFig4(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed, false) })
+	run("fig4sc", func() error { return runFig4(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed, true) })
+	run("table1", func() error { return runTable1(dbList, orDefault(*wl, "U25-C-100"), *scale, *seed) })
+	run("ablation-t", func() error { return runAblationT(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("ablation-eps", func() error { return runAblationEps(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("ablation-next", func() error { return runAblationNext(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("ablation-cov", func() error { return runAblationCov(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("ablation-hist", func() error { return runAblationHist(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("ablation-sample", func() error { return runAblationSample(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func runIntro(db string, scale float64) error {
+	header(fmt.Sprintf("§1 motivating experiment — %s, scale %.2f (paper: 15/17 plans change, all improve)", db, scale))
+	res, err := bench.Intro(db, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-9s %14s %14s %10s\n", "query", "changed", "exec before", "exec after", "delta%")
+	for _, r := range res.Rows {
+		delta := bench.PctIncrease(r.ExecBefore, r.ExecAfter)
+		fmt.Printf("Q%-5d %-9v %14.0f %14.0f %9.1f%%\n", r.Query, r.PlanChanged, r.ExecBefore, r.ExecAfter, delta)
+	}
+	fmt.Printf("plans changed: %d/17, improved (cost not worse): %d\n", res.Changed, res.Improved)
+	return nil
+}
+
+func runFig3(dbs []string, wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Figure 3 — Candidate Statistics vs Exhaustive — workload %s, scale %.2f (paper: 50-80%% creation reduction, ≤3%% exec increase)", wl, scale))
+	fmt.Printf("%-10s %6s %6s %14s %14s %12s %12s %10s\n",
+		"db", "exh#", "cand#", "exh units", "cand units", "reduction%", "wall-red%", "exec+%")
+	for _, db := range dbs {
+		row, err := bench.Figure3(db, wl, scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6d %6d %14.0f %14.0f %11.1f%% %11.1f%% %9.1f%%\n",
+			row.DB, row.ExhaustiveCount, row.CandidateCount, row.ExhaustiveUnits, row.CandidateUnits,
+			row.CreationReductionPct, row.WallReductionPct, row.ExecIncreasePct)
+	}
+	return nil
+}
+
+func runFig4(dbs []string, wl string, scale float64, seed int64, singleCol bool) error {
+	title := "Figure 4 — MNSA vs all candidate statistics"
+	fn := core.CandidateStats
+	expect := "(paper: 30-45% creation reduction, ≤2% exec increase)"
+	if singleCol {
+		title = "Figure 4 variant — single-column-only candidates"
+		fn = core.SingleColumnCandidates
+		expect = "(paper: >30% reduction in all cases)"
+	}
+	header(fmt.Sprintf("%s — workload %s, scale %.2f %s", title, wl, scale, expect))
+	fmt.Printf("%-10s %6s %6s %14s %14s %8s %12s %10s\n",
+		"db", "all#", "mnsa#", "all units", "mnsa units", "optcalls", "reduction%", "exec+%")
+	for _, db := range dbs {
+		row, err := bench.Figure4(db, wl, scale, seed, fn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6d %6d %14.0f %14.0f %8d %11.1f%% %9.1f%%\n",
+			row.DB, row.AllCount, row.MNSACount, row.AllUnits, row.MNSAUnits,
+			row.OptimizerCalls, row.CreationReductionPct, row.ExecIncreasePct)
+	}
+	return nil
+}
+
+func runTable1(dbs []string, wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Table 1 — MNSA/D vs MNSA update cost — workload %s, scale %.2f (paper: 30-34%% reduction, ≤6%% exec increase on re-run)", wl, scale))
+	fmt.Printf("%-10s %6s %6s %6s %12s %12s %10s %10s\n",
+		"db", "mnsa#", "drop#", "kept#", "upd-red%", "replay-red%", "exec+%", "optcalls")
+	for _, db := range dbs {
+		row, err := bench.Table1(db, wl, scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6d %6d %6d %11.1f%% %11.1f%% %9.1f%% %10s\n",
+			row.DB, row.MNSACount, row.DropListed, row.MNSADCount-row.DropListed,
+			row.UpdateReductionPct, row.ReplayReductionPct, row.ExecIncreasePct, "-")
+	}
+	return nil
+}
+
+func printAblation(rows []*bench.AblationRow) {
+	fmt.Printf("%-26s %7s %14s %9s %14s %10s\n", "config", "stats#", "create units", "optcalls", "exec cost", "exec+%")
+	for _, r := range rows {
+		fmt.Printf("%-26s %7d %14.0f %9d %14.0f %9.1f%%\n",
+			r.Label, r.StatsCreated, r.CreationUnits, r.OptimizerCalls, r.ExecCost, r.ExecIncreasePct)
+	}
+}
+
+func runAblationT(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — t threshold sweep — TPCD_2, workload %s (larger t ⇒ fewer statistics, laxer equivalence)", wl))
+	rows, err := bench.AblationThreshold("TPCD_2", wl, scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}
+
+func runAblationEps(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — epsilon sweep — TPCD_2, workload %s (larger ε narrows the tested selectivity range)", wl))
+	rows, err := bench.AblationEpsilon("TPCD_2", wl, scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}
+
+func runAblationNext(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — FindNextStatToBuild heuristic vs random pick — TPCD_2, workload %s", wl))
+	rows, err := bench.AblationNextStat("TPCD_2", wl, scale, seed)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}
+
+func runAblationCov(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — §6 cost-coverage knob — TPCD_2, workload %s (tune only queries covering X%% of estimated cost)", wl))
+	rows, err := bench.AblationCostWeighted("TPCD_2", wl, scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}
+
+func runAblationHist(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — histogram structure (MaxDiff vs equi-depth) — TPCD_2, workload %s", wl))
+	rows, err := bench.AblationHistogramKind("TPCD_2", wl, scale, seed)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}
+
+func runAblationSample(wl string, scale float64, seed int64) error {
+	header(fmt.Sprintf("Ablation — sampled statistics construction — TPCD_2, workload %s", wl))
+	rows, err := bench.AblationSampling("TPCD_2", wl, scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command ragsgen generates stochastic SQL workloads over a skewed TPC-D
+// database, in the spirit of the Rags tool the paper uses for its §8
+// experiments, with the paper's knobs: update percentage (0/25/50),
+// complexity (Simple = max 2 tables, Complex = max 8) and statement count.
+//
+// Usage:
+//
+//	ragsgen -workload U25-C-1000 -db TPCD_2 -o workload.sql
+//	ragsgen -workload U0-S-100 -db TPCD_MIX -seed 7
+//
+// The output is one SQL statement per line and loads back with statsadvisor.
+// The database the workload will run against must be generated with the
+// SAME -db/-scale/-seed so sampled predicate constants match the data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autostats/internal/datagen"
+	"autostats/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "U25-C-100", "workload name: U<updatePct>-<S|C>-<count>")
+		dbName  = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+		scale   = flag.Float64("scale", 1, "database scale factor")
+		dbSeed  = flag.Int64("db-seed", 42, "database generator seed")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg, err := datagen.ConfigByName(*dbName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Scale = *scale
+	cfg.Seed = *dbSeed
+	db, err := datagen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wcfg, err := workload.ConfigByName(*wlName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.Generate(db, wcfg)
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := w.Save(out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ragsgen: %d statements (%d queries, %d DML) for %s on %s\n",
+		len(w.Statements), len(w.Queries()), len(w.UpdateStatements()), w.Name, *dbName)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ragsgen:", err)
+	os.Exit(1)
+}

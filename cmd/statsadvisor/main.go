@@ -1,0 +1,195 @@
+// Command statsadvisor recommends the statistics a workload needs, running
+// the paper's algorithms over a freshly generated (or .tbl-loaded) skewed
+// TPC-D database:
+//
+//	mnsa     Magic Number Sensitivity Analysis per query (§4, Figure 1)
+//	mnsad    MNSA with non-essential detection / drop-list (§5.1)
+//	offline  MNSA followed by the Shrinking Set algorithm (§5.2, §6)
+//	all      create every §7.1 candidate statistic (no analysis; baseline)
+//
+// Usage:
+//
+//	ragsgen -workload U25-C-100 -db TPCD_2 -o w.sql
+//	statsadvisor -db TPCD_2 -workload w.sql -mode offline
+//	statsadvisor -db TPCD_4 -tpcd-orig -mode mnsad -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autostats/internal/core"
+	"autostats/internal/datagen"
+	"autostats/internal/executor"
+	"autostats/internal/histogram"
+	"autostats/internal/optimizer"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+	"autostats/internal/workload"
+)
+
+func main() {
+	var (
+		dbName   = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+		scale    = flag.Float64("scale", 1, "database scale factor")
+		dbSeed   = flag.Int64("db-seed", 42, "database generator seed")
+		tblDir   = flag.String("tbl", "", "load database from .tbl files in this directory instead of generating")
+		wlPath   = flag.String("workload", "", "workload SQL file (one statement per line)")
+		tpcdOrig = flag.Bool("tpcd-orig", false, "use the built-in 17-query TPCD-ORIG workload")
+		mode     = flag.String("mode", "mnsa", "mnsa | mnsad | offline | all")
+		tPct     = flag.Float64("t", 20, "t-optimizer-cost equivalence threshold (percent)")
+		eps      = flag.Float64("eps", 0.0005, "epsilon for the sensitivity extremes")
+		single   = flag.Bool("single-column", false, "consider only single-column candidate statistics")
+		verbose  = flag.Bool("verbose", false, "per-query detail")
+		saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
+		loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
+	)
+	flag.Parse()
+
+	db, err := openDatabase(*tblDir, *dbName, *scale, *dbSeed)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := openWorkload(db, *wlPath, *tpcdOrig)
+	if err != nil {
+		fatal(err)
+	}
+	queries := w.Queries()
+	fmt.Printf("database %s (%d rows), workload %s: %d statements, %d queries\n",
+		*dbName, db.TotalRows(), w.Name, len(w.Statements), len(queries))
+
+	mgr := stats.NewManager(db, histogram.MaxDiff, 0)
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			fatal(err)
+		}
+		err = mgr.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d statistics from %s\n", len(mgr.All()), *loadFrom)
+	}
+	sess := optimizer.NewSession(mgr)
+	cfg := core.DefaultConfig()
+	cfg.T = *tPct
+	cfg.Epsilon = *eps
+	if *single {
+		cfg.CandidateFn = core.SingleColumnCandidates
+	}
+
+	switch *mode {
+	case "all":
+		cands := core.WorkloadCandidates(queries, cfg.CandidateFn)
+		for _, c := range cands {
+			if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("created all %d candidate statistics\n", len(cands))
+	case "mnsa", "mnsad":
+		cfg.Drop = *mode == "mnsad"
+		if *verbose {
+			for i, q := range queries {
+				r, err := core.RunMNSA(sess, q, cfg)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("Q%-3d created=%d droplisted=%d optcalls=%d (%s)\n",
+					i+1, len(r.Created), len(r.DropListed), r.OptimizerCalls, r.TerminatedBy)
+			}
+		} else {
+			wr, err := core.RunMNSAWorkload(sess, queries, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("MNSA%s: created %d statistics with %d optimizer calls\n",
+				map[bool]string{true: "/D", false: ""}[cfg.Drop], len(wr.Created), wr.OptimizerCalls)
+		}
+	case "offline":
+		rep, err := core.OfflineTune(sess, queries, cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offline tune: MNSA created %d, shrinking set kept %d (essential), drop-listed %d\n",
+			len(rep.MNSA.Created), len(rep.Shrink.Kept), len(rep.DropListed))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fmt.Printf("\nrecommended statistics (%d, build cost %.0f units, %v):\n",
+		len(mgr.Maintained()), mgr.TotalBuildCost, mgr.TotalBuildTime.Round(1000))
+	for _, s := range mgr.Maintained() {
+		fmt.Printf("  CREATE STATISTICS %s  -- %d rows, %d distinct\n", s.ID, s.Data.Rows, s.Data.Leading.Distinct)
+	}
+	if dl := mgr.DropList(); len(dl) > 0 {
+		fmt.Printf("drop-list (%d, not maintained):\n", len(dl))
+		for _, s := range dl {
+			fmt.Printf("  %s\n", s.ID)
+		}
+	}
+	fmt.Printf("maintenance cost per refresh cycle: %.0f units\n", mgr.MaintenanceCostUnits())
+
+	// Execute the workload under the recommendation and report cost.
+	ex := executor.New(db)
+	total := 0.0
+	for _, stmt := range w.Statements {
+		res, err := ex.RunStatement(sess, stmt)
+		if err != nil {
+			fatal(err)
+		}
+		total += res.Cost
+	}
+	fmt.Printf("workload execution cost under recommendation: %.0f units\n", total)
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fatal(err)
+		}
+		err = mgr.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d statistics to %s\n", len(mgr.All()), *saveTo)
+	}
+}
+
+func openDatabase(tblDir, dbName string, scale float64, seed int64) (*storage.Database, error) {
+	if tblDir != "" {
+		return datagen.LoadTbl(tblDir)
+	}
+	cfg, err := datagen.ConfigByName(dbName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scale = scale
+	cfg.Seed = seed
+	return datagen.Generate(cfg)
+}
+
+func openWorkload(db *storage.Database, wlPath string, tpcdOrig bool) (*workload.Workload, error) {
+	switch {
+	case tpcdOrig:
+		return workload.TPCDOrig(db.Schema)
+	case wlPath != "":
+		f, err := os.Open(wlPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.Load(db.Schema, f)
+	default:
+		return nil, fmt.Errorf("pass -workload <file> or -tpcd-orig")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "statsadvisor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module autostats
+
+go 1.22

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"autostats/internal/core"
+	"autostats/internal/histogram"
+	"autostats/internal/optimizer"
+	"autostats/internal/stats"
+)
+
+// AblationRow is one configuration point of an MNSA design-choice sweep.
+type AblationRow struct {
+	Label string
+	// StatsCreated is the number of statistics MNSA built.
+	StatsCreated int
+	// CreationUnits includes optimizer-call overhead.
+	CreationUnits  float64
+	OptimizerCalls int
+	// ExecCost is the workload execution cost under the resulting
+	// statistics.
+	ExecCost float64
+	// ExecIncreasePct is relative to the all-candidates baseline.
+	ExecIncreasePct float64
+	Elapsed         time.Duration
+}
+
+// runMNSAPoint runs MNSA with cfg on a fresh environment and returns a row.
+func runMNSAPoint(dbName, wlName string, scale float64, seed int64, label string, baselineExec float64, cfg core.Config) (*AblationRow, error) {
+	env, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	w, err := env.Workload(wlName, seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	wr, err := core.RunMNSAWorkload(env.Sess, w.Queries(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	exec, err := env.ExecuteQueries(w)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Label:           label,
+		StatsCreated:    len(wr.Created),
+		CreationUnits:   env.Mgr.TotalBuildCost + float64(wr.OptimizerCalls)*OptimizerCallUnits,
+		OptimizerCalls:  wr.OptimizerCalls,
+		ExecCost:        exec,
+		ExecIncreasePct: PctIncrease(baselineExec, exec),
+		Elapsed:         elapsed,
+	}, nil
+}
+
+// baselineExec measures workload execution cost with every candidate built.
+func baselineExec(dbName, wlName string, scale float64, seed int64) (float64, error) {
+	env, err := NewEnv(dbName, scale)
+	if err != nil {
+		return 0, err
+	}
+	w, err := env.Workload(wlName, seed)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, err := env.createAll(core.WorkloadCandidates(w.Queries(), core.CandidateStats)); err != nil {
+		return 0, err
+	}
+	return env.ExecuteQueries(w)
+}
+
+// AblationThreshold sweeps the t-optimizer-cost equivalence threshold
+// (DESIGN.md: t ∈ {5, 10, 20, 40}). Larger t means a laxer equivalence test,
+// fewer statistics, and potentially worse plans — the cost/accuracy dial of
+// §3.2.
+func AblationThreshold(dbName, wlName string, scale float64, seed int64, thresholds []float64) ([]*AblationRow, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{5, 10, 20, 40}
+	}
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*AblationRow
+	for _, t := range thresholds {
+		cfg := core.DefaultConfig()
+		cfg.T = t
+		row, err := runMNSAPoint(dbName, wlName, scale, seed, labelFloat("t=", t, "%%"), base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationEpsilon sweeps ε, the extreme-selectivity pin of §4.1. Larger ε
+// narrows the tested selectivity range, weakening the guarantee for very
+// selective predicates.
+func AblationEpsilon(dbName, wlName string, scale float64, seed int64, epsilons []float64) ([]*AblationRow, error) {
+	if len(epsilons) == 0 {
+		epsilons = []float64{0.0005, 0.005, 0.05, 0.2}
+	}
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*AblationRow
+	for _, eps := range epsilons {
+		cfg := core.DefaultConfig()
+		cfg.Epsilon = eps
+		row, err := runMNSAPoint(dbName, wlName, scale, seed, labelFloat("eps=", eps, ""), base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationNextStat compares the §4.2 most-expensive-operator heuristic
+// against a seeded random choice of the next statistic to build. The
+// heuristic should converge in fewer created statistics and optimizer calls.
+func AblationNextStat(dbName, wlName string, scale float64, seed int64) ([]*AblationRow, error) {
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	heuristic, err := runMNSAPoint(dbName, wlName, scale, seed, "most-expensive-operator", base, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	// Random arm: run MNSA-with-random-pick via the core RandomNextStat hook.
+	cfg := core.DefaultConfig()
+	rng := rand.New(rand.NewSource(seed))
+	cfg.NextStatFn = func(p *optimizer.Plan, cands []core.Candidate, mgr *stats.Manager, consumed map[stats.ID]bool, missing []int) []core.Candidate {
+		var avail []core.Candidate
+		for _, c := range cands {
+			if !consumed[c.ID()] && !mgr.Has(c.ID()) {
+				avail = append(avail, c)
+			}
+		}
+		if len(avail) == 0 {
+			return nil
+		}
+		return []core.Candidate{avail[rng.Intn(len(avail))]}
+	}
+	random, err := runMNSAPoint(dbName, wlName, scale, seed, "random-pick", base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*AblationRow{heuristic, random}, nil
+}
+
+func labelFloat(prefix string, v float64, suffix string) string {
+	return prefix + strconv.FormatFloat(v, 'g', -1, 64) + suffix
+}
+
+// AblationShrinkFast compares the Figure 2 Shrinking Set algorithm against
+// the §5.2 seeded variant (ShrinkingSetFast) on one workload: survivors and
+// optimizer-call counts.
+func AblationShrinkFast(dbName, wlName string, scale float64, seed int64) (slowKept, slowCalls, fastKept, fastCalls int, err error) {
+	run := func(fast bool) (int, int, error) {
+		env, err := NewEnv(dbName, scale)
+		if err != nil {
+			return 0, 0, err
+		}
+		w, err := env.Workload(wlName, seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		queries := w.Queries()
+		for _, c := range core.WorkloadCandidates(queries, core.CandidateStats) {
+			if _, err := env.Mgr.Create(c.Table, c.Columns); err != nil {
+				return 0, 0, err
+			}
+		}
+		var sr *core.ShrinkResult
+		if fast {
+			sr, err = core.ShrinkingSetFast(env.Sess, queries, nil, core.ExecutionTree{})
+		} else {
+			sr, err = core.ShrinkingSet(env.Sess, queries, nil, core.ExecutionTree{})
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(sr.Kept), sr.OptimizerCalls, nil
+	}
+	slowKept, slowCalls, err = run(false)
+	if err != nil {
+		return
+	}
+	fastKept, fastCalls, err = run(true)
+	return
+}
+
+// AblationCostWeighted sweeps the §6 cost-coverage knob: MNSA restricted to
+// the most expensive queries covering X% of estimated workload cost.
+func AblationCostWeighted(dbName, wlName string, scale float64, seed int64, coverages []float64) ([]*AblationRow, error) {
+	if len(coverages) == 0 {
+		coverages = []float64{1.0, 0.9, 0.7, 0.5}
+	}
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*AblationRow
+	for _, cov := range coverages {
+		env, err := NewEnv(dbName, scale)
+		if err != nil {
+			return nil, err
+		}
+		w, err := env.Workload(wlName, seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		wr, tuned, err := core.RunMNSACostWeighted(env.Sess, w.Queries(), core.DefaultConfig(), cov)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		exec, err := env.ExecuteQueries(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, &AblationRow{
+			Label:           labelFloat("coverage=", cov, "") + labelFloat(" (", float64(tuned), " queries)"),
+			StatsCreated:    len(wr.Created),
+			CreationUnits:   env.Mgr.TotalBuildCost + float64(wr.OptimizerCalls)*OptimizerCallUnits,
+			OptimizerCalls:  wr.OptimizerCalls,
+			ExecCost:        exec,
+			ExecIncreasePct: PctIncrease(base, exec),
+			Elapsed:         elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// AblationHistogramKind compares MaxDiff against equi-depth histograms under
+// the same MNSA configuration — the §1 claim that the selection algorithms
+// are oblivious to the statistics structure, with the quality difference the
+// histogram choice itself makes.
+func AblationHistogramKind(dbName, wlName string, scale float64, seed int64) ([]*AblationRow, error) {
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*AblationRow
+	for _, kind := range []histogram.Kind{histogram.MaxDiff, histogram.EquiDepth} {
+		env, err := NewEnv(dbName, scale)
+		if err != nil {
+			return nil, err
+		}
+		// Swap the manager's histogram kind by rebuilding the environment
+		// plumbing with the alternative kind.
+		env.Mgr = stats.NewManager(env.DB, kind, 0)
+		env.Sess = optimizer.NewSession(env.Mgr)
+		w, err := env.Workload(wlName, seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		wr, err := core.RunMNSAWorkload(env.Sess, w.Queries(), core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		exec, err := env.ExecuteQueries(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, &AblationRow{
+			Label:           kind.String(),
+			StatsCreated:    len(wr.Created),
+			CreationUnits:   env.Mgr.TotalBuildCost + float64(wr.OptimizerCalls)*OptimizerCallUnits,
+			OptimizerCalls:  wr.OptimizerCalls,
+			ExecCost:        exec,
+			ExecIncreasePct: PctIncrease(base, exec),
+			Elapsed:         elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// AblationSampling sweeps the statistics-construction sample fraction: the
+// §2 complementary technique. Creation cost falls with the sample size while
+// MNSA keeps pruning the candidate space on top.
+func AblationSampling(dbName, wlName string, scale float64, seed int64, fractions []float64) ([]*AblationRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{1.0, 0.25, 0.1, 0.05}
+	}
+	base, err := baselineExec(dbName, wlName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*AblationRow
+	for _, f := range fractions {
+		env, err := NewEnv(dbName, scale)
+		if err != nil {
+			return nil, err
+		}
+		if f < 1 {
+			if err := env.Mgr.SetSampling(stats.SampleConfig{Fraction: f, MinRows: 100, Seed: seed}); err != nil {
+				return nil, err
+			}
+		}
+		w, err := env.Workload(wlName, seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		wr, err := core.RunMNSAWorkload(env.Sess, w.Queries(), core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		exec, err := env.ExecuteQueries(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, &AblationRow{
+			Label:           labelFloat("sample=", f, ""),
+			StatsCreated:    len(wr.Created),
+			CreationUnits:   env.Mgr.TotalBuildCost + float64(wr.OptimizerCalls)*OptimizerCallUnits,
+			OptimizerCalls:  wr.OptimizerCalls,
+			ExecCost:        exec,
+			ExecIncreasePct: PctIncrease(base, exec),
+			Elapsed:         elapsed,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,190 @@
+// Package catalog defines the logical data model shared by every other
+// subsystem: column types, datums (typed values), table and index metadata,
+// and the database catalog itself.
+//
+// The catalog is deliberately independent of the physical storage layer
+// (internal/storage) and of the optimizer; both consume it.
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is the logical type of a column.
+type Type int
+
+const (
+	// Int is a 64-bit signed integer column.
+	Int Type = iota
+	// Float is a 64-bit floating point column.
+	Float
+	// String is a variable-length string column.
+	String
+	// Date is a day-granularity date column, stored as days since epoch.
+	Date
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "VARCHAR"
+	case Date:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Datum is a single typed value. Exactly one of the value fields is
+// meaningful, selected by T. Dates reuse the I field (days since epoch).
+//
+// Datum is a small value type passed by value throughout the system.
+type Datum struct {
+	T Type
+	I int64
+	F float64
+	S string
+	// Null marks the SQL NULL value; T is still set to the column type.
+	Null bool
+}
+
+// NewInt returns an Int datum.
+func NewInt(v int64) Datum { return Datum{T: Int, I: v} }
+
+// NewFloat returns a Float datum.
+func NewFloat(v float64) Datum { return Datum{T: Float, F: v} }
+
+// NewString returns a String datum.
+func NewString(v string) Datum { return Datum{T: String, S: v} }
+
+// NewDate returns a Date datum holding days since epoch.
+func NewDate(days int64) Datum { return Datum{T: Date, I: days} }
+
+// NewNull returns a NULL datum of type t.
+func NewNull(t Type) Datum { return Datum{T: t, Null: true} }
+
+// Compare orders d relative to other: -1 if d < other, 0 if equal, +1 if
+// d > other. NULL sorts before every non-NULL value. Comparing datums of
+// different types panics; the planner ensures operands are coerced first.
+func (d Datum) Compare(other Datum) int {
+	if d.Null || other.Null {
+		switch {
+		case d.Null && other.Null:
+			return 0
+		case d.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if d.T != other.T {
+		// Allow Int/Float cross comparison; anything else is a planner bug.
+		if (d.T == Int || d.T == Float) && (other.T == Int || other.T == Float) {
+			return cmpFloat(d.asFloat(), other.asFloat())
+		}
+		panic(fmt.Sprintf("catalog: comparing incompatible types %s and %s", d.T, other.T))
+	}
+	switch d.T {
+	case Int, Date:
+		switch {
+		case d.I < other.I:
+			return -1
+		case d.I > other.I:
+			return 1
+		default:
+			return 0
+		}
+	case Float:
+		return cmpFloat(d.F, other.F)
+	case String:
+		return strings.Compare(d.S, other.S)
+	default:
+		panic(fmt.Sprintf("catalog: comparing unknown type %s", d.T))
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (d Datum) asFloat() float64 {
+	if d.T == Float {
+		return d.F
+	}
+	return float64(d.I)
+}
+
+// Equal reports whether two datums compare equal. NULL never equals anything,
+// matching SQL semantics for predicate evaluation.
+func (d Datum) Equal(other Datum) bool {
+	if d.Null || other.Null {
+		return false
+	}
+	return d.Compare(other) == 0
+}
+
+// ToFloat converts a numeric datum to float64 for histogram bucketing.
+// Strings hash-order through their first bytes so histograms can still
+// bucket them; see StringRank.
+func (d Datum) ToFloat() float64 {
+	switch d.T {
+	case Int, Date:
+		return float64(d.I)
+	case Float:
+		return d.F
+	case String:
+		return StringRank(d.S)
+	default:
+		return 0
+	}
+}
+
+// StringRank maps a string onto a float preserving lexicographic order for
+// the first eight bytes. It gives histograms a total order over strings
+// without storing full values in bucket boundaries.
+func StringRank(s string) float64 {
+	var r float64
+	scale := 1.0
+	for i := 0; i < 8; i++ {
+		scale /= 256
+		var b byte
+		if i < len(s) {
+			b = s[i]
+		}
+		r += float64(b) * scale
+	}
+	return r
+}
+
+// String renders the datum as a SQL literal.
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.T {
+	case Int:
+		return strconv.FormatInt(d.I, 10)
+	case Date:
+		return fmt.Sprintf("DATE %d", d.I)
+	case Float:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case String:
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumCompareInts(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {5, 5, 0}, {-3, 3, -1}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := NewInt(c.a).Compare(NewInt(c.b)); got != c.want {
+			t.Errorf("Compare(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDatumCompareCrossNumeric(t *testing.T) {
+	if got := NewInt(2).Compare(NewFloat(2.5)); got != -1 {
+		t.Errorf("int 2 vs float 2.5 = %d, want -1", got)
+	}
+	if got := NewFloat(3.0).Compare(NewInt(3)); got != 0 {
+		t.Errorf("float 3.0 vs int 3 = %d, want 0", got)
+	}
+}
+
+func TestDatumCompareStrings(t *testing.T) {
+	if got := NewString("apple").Compare(NewString("banana")); got != -1 {
+		t.Errorf("apple vs banana = %d", got)
+	}
+	if got := NewString("x").Compare(NewString("x")); got != 0 {
+		t.Errorf("x vs x = %d", got)
+	}
+}
+
+func TestDatumNullOrdering(t *testing.T) {
+	n := NewNull(Int)
+	if got := n.Compare(NewInt(-1 << 60)); got != -1 {
+		t.Errorf("NULL should sort before any value, got %d", got)
+	}
+	if got := NewInt(0).Compare(n); got != 1 {
+		t.Errorf("value vs NULL = %d, want 1", got)
+	}
+	if got := n.Compare(NewNull(Int)); got != 0 {
+		t.Errorf("NULL vs NULL = %d, want 0", got)
+	}
+}
+
+func TestDatumNullNeverEqual(t *testing.T) {
+	n := NewNull(Int)
+	if n.Equal(NewInt(0)) || NewInt(0).Equal(n) || n.Equal(NewNull(Int)) {
+		t.Error("NULL must not Equal anything, including NULL (SQL semantics)")
+	}
+}
+
+func TestDatumCompareIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic comparing string with int")
+		}
+	}()
+	NewString("a").Compare(NewInt(1))
+}
+
+// TestStringRankPreservesOrder: StringRank must order strings consistently
+// with lexicographic order for strings differing within 8 bytes.
+func TestStringRankPreservesOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		// Truncate to 8 significant bytes — beyond that StringRank ties.
+		ta, tb := trunc8(a), trunc8(b)
+		ra, rb := StringRank(ta), StringRank(tb)
+		switch strings.Compare(ta, tb) {
+		case -1:
+			return ra <= rb
+		case 1:
+			return ra >= rb
+		default:
+			return ra == rb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func trunc8(s string) string {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+// TestStringRankStrictOrder checks sorted distinct short strings map to
+// nondecreasing ranks.
+func TestStringRankSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ss []string
+	for i := 0; i < 200; i++ {
+		b := make([]byte, 1+rng.Intn(6))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		ss = append(ss, string(b))
+	}
+	sort.Strings(ss)
+	for i := 1; i < len(ss); i++ {
+		if StringRank(ss[i-1]) > StringRank(ss[i]) {
+			t.Fatalf("rank order violated: %q > %q", ss[i-1], ss[i])
+		}
+	}
+}
+
+func TestDatumToFloat(t *testing.T) {
+	if NewInt(42).ToFloat() != 42 {
+		t.Error("int ToFloat")
+	}
+	if NewFloat(2.5).ToFloat() != 2.5 {
+		t.Error("float ToFloat")
+	}
+	if NewDate(8035).ToFloat() != 8035 {
+		t.Error("date ToFloat")
+	}
+}
+
+func TestDatumStringRendering(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{NewInt(7), "7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("it's"), "'it''s'"},
+		{NewDate(8035), "DATE 8035"},
+		{NewNull(String), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{Int: "INT", Float: "FLOAT", String: "VARCHAR", Date: "DATE"} {
+		if typ.String() != want {
+			t.Errorf("%v.String() = %q", int(typ), typ.String())
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+
+	"autostats/internal/datagen"
+	"autostats/internal/executor"
+	"autostats/internal/histogram"
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/sqlparser"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+// querySelect shortens signatures in tests.
+type querySelect = query.Select
+
+func testDB(t testing.TB, z float64) *storage.Database {
+	t.Helper()
+	db, err := datagen.Generate(datagen.Config{Scale: 0.5, Z: z, Seed: 11})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return db
+}
+
+func newSession(t testing.TB, db *storage.Database) *optimizer.Session {
+	t.Helper()
+	return optimizer.NewSession(stats.NewManager(db, histogram.MaxDiff, 0))
+}
+
+func mustParse(t testing.TB, db *storage.Database, sql string) *querySelect {
+	t.Helper()
+	q, err := sqlparser.ParseSelect(db.Schema, sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return q
+}
+
+// TestExample3 reproduces Example 3 of §7.1 on an equivalent query shape:
+// two join predicates between two tables plus three selection predicates on
+// one of them. Candidates must include the per-table join multi-column
+// statistics and the selection multi-column statistic, but not the pairwise
+// sub-combinations.
+func TestExample3(t *testing.T) {
+	db := testDB(t, 0)
+	// Shape of Q2 = SELECT * FROM R1, R2 WHERE R1.a=R2.b AND R1.c=R2.d AND
+	// R1.e<100 AND R1.f>10 AND R1.g=25, mapped onto lineitem/partsupp which
+	// share two joinable column pairs.
+	q := mustParse(t, db, `SELECT * FROM lineitem, partsupp
+		WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+		AND l_quantity < 30 AND l_discount > 0.02 AND l_linenumber = 2`)
+	cands := CandidateStats(q)
+
+	want := map[string]bool{
+		// (a) single-column statistics on each relevant column.
+		"lineitem(l_partkey)":    true,
+		"lineitem(l_suppkey)":    true,
+		"lineitem(l_quantity)":   true,
+		"lineitem(l_discount)":   true,
+		"lineitem(l_linenumber)": true,
+		"partsupp(ps_partkey)":   true,
+		"partsupp(ps_suppkey)":   true,
+		// (b) one multi-column statistic per table on selection columns.
+		"lineitem(l_discount,l_linenumber,l_quantity)": true,
+		// (c) one multi-column statistic per table on join columns.
+		"lineitem(l_partkey,l_suppkey)":   true,
+		"partsupp(ps_partkey,ps_suppkey)": true,
+	}
+	got := map[string]bool{}
+	for _, c := range cands {
+		got[string(c.ID())] = true
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("missing expected candidate %s", id)
+		}
+	}
+	for id := range got {
+		if !want[id] {
+			t.Errorf("unexpected candidate %s", id)
+		}
+	}
+	// The pairwise selection sub-combinations must NOT be proposed.
+	for _, bad := range []string{
+		"lineitem(l_discount,l_quantity)",
+		"lineitem(l_discount,l_linenumber)",
+		"lineitem(l_linenumber,l_quantity)",
+	} {
+		if got[bad] {
+			t.Errorf("candidate %s should not be proposed (Example 3)", bad)
+		}
+	}
+	// Exhaustive must include those pairwise combinations.
+	exGot := map[string]bool{}
+	for _, c := range ExhaustiveStats(q) {
+		exGot[string(c.ID())] = true
+	}
+	for _, id := range []string{
+		"lineitem(l_discount,l_quantity)",
+		"lineitem(l_linenumber,l_quantity)",
+		"lineitem(l_discount,l_linenumber)",
+	} {
+		if !exGot[id] {
+			t.Errorf("exhaustive should include %s", id)
+		}
+	}
+	if len(ExhaustiveStats(q)) <= len(cands) {
+		t.Errorf("exhaustive (%d) should exceed candidate (%d) count", len(ExhaustiveStats(q)), len(cands))
+	}
+}
+
+// TestMNSABuildsFewerThanCandidates: MNSA should terminate having built a
+// strict subset of the candidates on a typical selective query, and the
+// resulting plan must be t-optimizer-cost equivalent to the plan with ALL
+// candidates built.
+func TestMNSAPrunesAndPreservesQuality(t *testing.T) {
+	for _, z := range []float64{0, 2} {
+		db := testDB(t, z)
+		sess := newSession(t, db)
+		q := mustParse(t, db, `SELECT * FROM lineitem, orders
+			WHERE l_orderkey = o_orderkey AND l_shipdate < DATE 8500
+			AND o_totalprice > 400000 AND l_quantity > 45`)
+		cfg := DefaultConfig()
+		res, err := RunMNSA(sess, q, cfg)
+		if err != nil {
+			t.Fatalf("z=%v: MNSA: %v", z, err)
+		}
+		cands := CandidateStats(q)
+		if len(res.Created) == 0 {
+			t.Fatalf("z=%v: MNSA built nothing; expected some statistics for a join query", z)
+		}
+		if len(res.Created) >= len(cands) {
+			t.Errorf("z=%v: MNSA built %d of %d candidates; expected pruning", z, len(res.Created), len(cands))
+		}
+		planMNSA, err := sess.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Build everything on a fresh manager and compare.
+		dbAll := testDB(t, z)
+		sessAll := newSession(t, dbAll)
+		for _, c := range cands {
+			if _, err := sessAll.Manager().Create(c.Table, c.Columns); err != nil {
+				t.Fatal(err)
+			}
+		}
+		planAll, err := sessAll.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq := TOptimizerCost{T: cfg.T}
+		if !eq.Equivalent(planMNSA, planAll) {
+			t.Errorf("z=%v: MNSA plan cost %.1f vs all-candidates cost %.1f exceeds t=%v%%",
+				z, planMNSA.Cost(), planAll.Cost(), cfg.T)
+		}
+		t.Logf("z=%v: built %d/%d stats, %d optimizer calls, terminated by %s",
+			z, len(res.Created), len(cands), res.OptimizerCalls, res.TerminatedBy)
+	}
+}
+
+// TestMNSAOptimizerCallOverhead checks §4.3's overhead bound: three
+// optimizer calls per created statistic-unit plus the initial optimization
+// and the final (terminating) sensitivity test.
+func TestMNSAOptimizerCallOverhead(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	q := mustParse(t, db, `SELECT * FROM lineitem WHERE l_quantity > 45 AND l_discount < 0.02`)
+	res, err := RunMNSA(sess, q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 initial + per iteration: 2 sensitivity + 1 re-optimization (the
+	// last iteration has no re-optimization since it terminates).
+	maxCalls := 1 + 3*res.Iterations
+	if res.OptimizerCalls > maxCalls {
+		t.Errorf("optimizer calls %d exceed bound %d (iterations %d)", res.OptimizerCalls, maxCalls, res.Iterations)
+	}
+}
+
+// TestMNSADDropListsNonEssential: a query whose plan never changes after the
+// first few statistics should yield drop-listed statistics under MNSA/D, and
+// the drop-listed set must not be maintained.
+func TestMNSADDropListsNonEssential(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	mgr := sess.Manager()
+	q := mustParse(t, db, `SELECT * FROM lineitem, orders, customer
+		WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey
+		AND l_quantity > 45 AND c_acctbal > 9000 AND o_totalprice > 400000`)
+	res, err := RunMNSAD(sess, q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("created %d, drop-listed %d", len(res.Created), len(res.DropListed))
+	for _, id := range res.DropListed {
+		st := mgr.Get(id)
+		if st == nil {
+			t.Errorf("drop-listed statistic %s does not exist", id)
+			continue
+		}
+		if !st.InDropList {
+			t.Errorf("statistic %s reported drop-listed but not marked", id)
+		}
+	}
+	if got := len(mgr.Maintained()) + len(mgr.DropList()); got != len(mgr.All()) {
+		t.Errorf("maintained+droplist=%d != all=%d", got, len(mgr.All()))
+	}
+}
+
+// TestShrinkingSetProducesEssentialSet runs MNSA then Shrinking Set and
+// verifies the Definition 1 properties of the survivor set directly against
+// the full candidate set.
+func TestShrinkingSetProducesEssentialSet(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	mgr := sess.Manager()
+	q := mustParse(t, db, `SELECT * FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey AND l_shipdate < DATE 8300 AND o_totalprice > 500000`)
+
+	// Build ALL candidates so Definition 1 can be checked exactly.
+	cands := CandidateStats(q)
+	var cIDs []stats.ID
+	for _, c := range cands {
+		if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+			t.Fatal(err)
+		}
+		cIDs = append(cIDs, c.ID())
+	}
+
+	eq := ExecutionTree{}
+	sr, err := ShrinkingSet(sess, []*querySelect{q}, nil, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kept %v, removed %d", sr.Kept, len(sr.Removed))
+	ok, reason, err := IsEssentialSet(sess, q, sr.Kept, cIDs, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("shrinking-set result is not an essential set: %s", reason)
+	}
+}
+
+// TestShrinkingSetWorstCaseCallBound: |S|*|W| plus baselines.
+func TestShrinkingSetCallBound(t *testing.T) {
+	db := testDB(t, 0)
+	sess := newSession(t, db)
+	q1 := mustParse(t, db, `SELECT * FROM lineitem WHERE l_quantity > 40`)
+	q2 := mustParse(t, db, `SELECT * FROM orders WHERE o_totalprice < 1000`)
+	for _, c := range append(CandidateStats(q1), CandidateStats(q2)...) {
+		if _, err := sess.Manager().Create(c.Table, c.Columns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := len(sess.Manager().All())
+	sr, err := ShrinkingSet(sess, []*querySelect{q1, q2}, nil, ExecutionTree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := n*2 + 2; sr.OptimizerCalls > max {
+		t.Errorf("optimizer calls %d exceed worst case bound %d", sr.OptimizerCalls, max)
+	}
+}
+
+// execQueries optimizes and executes all queries, returning total cost.
+func execQueries(t testing.TB, db *storage.Database, sess *optimizer.Session, queries []*querySelect) float64 {
+	t.Helper()
+	ex := executor.New(db)
+	total := 0.0
+	for _, q := range queries {
+		plan, err := sess.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ex.Run(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Cost
+	}
+	return total
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// Config parameterizes MNSA (Figure 1) and its MNSA/D variant (§5.1).
+type Config struct {
+	// T is the t-optimizer-cost equivalence threshold in percent. The
+	// paper's experiments use 20 (§8.2: "a value of t = 20% is a
+	// conservative choice").
+	T float64
+	// Epsilon pins the extreme selectivities of P_low and P_high. MNSA
+	// guarantees essential-set inclusion only for predicate selectivities
+	// within [ε, 1−ε], so it should be small; the paper uses 0.0005.
+	Epsilon float64
+	// CandidateFn proposes candidate statistics for a query
+	// (CandidateStats by default; SingleColumnCandidates or ExhaustiveStats
+	// for the experiment variants).
+	CandidateFn func(*query.Select) []Candidate
+	// MinTableRows, when positive, creates candidates on tables of at most
+	// this many rows without sensitivity analysis (§4.3: "creating
+	// candidate statistics on small tables is inexpensive, [so] MNSA can be
+	// augmented with a threshold").
+	MinTableRows int
+	// Drop enables MNSA/D: after each statistic is created, if the plan is
+	// unchanged the statistic is heuristically drop-listed.
+	Drop bool
+	// DropEquivalence decides "unchanged" for MNSA/D (execution-tree by
+	// default).
+	DropEquivalence Equivalence
+	// UseAging dampens re-creation of recently dropped statistics (§6)
+	// unless the query's default plan cost exceeds AgingCostThreshold.
+	UseAging bool
+	// AgingCostThreshold exempts expensive queries from aging damping so
+	// their optimization is not adversely affected (§6).
+	AgingCostThreshold float64
+	// NextStatFn overrides the next-statistic heuristic (§4.2's
+	// most-expensive-operator rule by default). Used by ablation benches.
+	NextStatFn NextStatFunc
+}
+
+// NextStatFunc picks the next build unit from the remaining candidates given
+// the current default-magic-number plan and the missing variable IDs.
+type NextStatFunc func(p *optimizer.Plan, cands []Candidate, mgr *stats.Manager, consumed map[stats.ID]bool, missing []int) []Candidate
+
+// DefaultConfig returns the paper's experimental configuration: t = 20 %,
+// ε = 0.0005, §7.1 candidates, no dropping.
+func DefaultConfig() Config {
+	return Config{
+		T:               20,
+		Epsilon:         0.0005,
+		CandidateFn:     CandidateStats,
+		DropEquivalence: ExecutionTree{},
+	}
+}
+
+// Termination describes why an MNSA run stopped.
+type Termination string
+
+// Termination reasons.
+const (
+	// TermEquivalent: P_low and P_high became t-optimizer-cost equivalent —
+	// the existing statistics include an essential set (the success path).
+	TermEquivalent Termination = "equivalent"
+	// TermNoMissing: every selectivity variable is covered by statistics.
+	TermNoMissing Termination = "no-missing-vars"
+	// TermNoCandidates: candidates are exhausted (step 9 of Figure 1).
+	TermNoCandidates Termination = "no-candidates"
+)
+
+// Result reports one MNSA run.
+type Result struct {
+	// Created lists statistics physically built (or resurrected), in order.
+	Created []stats.ID
+	// DropListed lists statistics MNSA/D identified as non-essential.
+	DropListed []stats.ID
+	// AgeSkipped lists candidates whose creation aging suppressed.
+	AgeSkipped []stats.ID
+	// Resurrected lists drop-listed statistics found load-bearing for this
+	// query's final plan and removed from the drop-list (§5: "if the
+	// statistic s is subsequently found to be useful for another query ...
+	// it can simply be removed from the drop-list").
+	Resurrected []stats.ID
+	// OptimizerCalls counts full optimizations performed (the paper's
+	// overhead metric: three calls per created statistic).
+	OptimizerCalls int
+	// Iterations counts loop iterations.
+	Iterations int
+	// TerminatedBy records the loop exit reason.
+	TerminatedBy Termination
+}
+
+// RunMNSA creates statistics for q per Figure 1: repeatedly test whether the
+// current statistics include an essential set via magic number sensitivity
+// analysis, and if not, build the statistic most likely to matter (the
+// most-expensive-operator heuristic of §4.2). Join-column statistics are
+// created in dependent pairs.
+func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, error) {
+	if cfg.T <= 0 {
+		cfg.T = 20
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.0005
+	}
+	if cfg.CandidateFn == nil {
+		cfg.CandidateFn = CandidateStats
+	}
+	if cfg.DropEquivalence == nil {
+		cfg.DropEquivalence = ExecutionTree{}
+	}
+	mgr := sess.Manager()
+	res := &Result{TerminatedBy: TermNoCandidates}
+
+	// consumed tracks candidates no longer available this run (built,
+	// age-skipped, or already existing).
+	cands := cfg.CandidateFn(q)
+	consumed := make(map[stats.ID]bool, len(cands))
+
+	// Small-table shortcut: build those candidates outright.
+	if cfg.MinTableRows > 0 {
+		for _, c := range cands {
+			td, err := mgr.Database().Table(c.Table)
+			if err != nil {
+				return nil, err
+			}
+			if td.RowCount() <= cfg.MinTableRows && !mgr.Has(c.ID()) {
+				if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+					return nil, err
+				}
+				res.Created = append(res.Created, c.ID())
+				consumed[c.ID()] = true
+			}
+		}
+	}
+
+	sess.ClearOverrides()
+	defer sess.ClearOverrides()
+
+	p, err := sess.Optimize(q) // step 2: plan with default magic numbers
+	if err != nil {
+		return nil, err
+	}
+	res.OptimizerCalls++
+
+	// finish resurrects drop-listed statistics that this query's final plan
+	// depends on (§5): hide each one in turn and re-optimize; if the plan
+	// degrades beyond the t threshold, the statistic is useful after all and
+	// leaves the drop-list. t-optimizer-cost (not execution-tree) keeps the
+	// rescue targeted: a cosmetic plan change is not worth re-maintaining a
+	// statistic, a t-significant cost regression is.
+	finish := func(final *optimizer.Plan) (*Result, error) {
+		if !cfg.Drop {
+			return res, nil
+		}
+		dbName := mgr.Database().Name
+		defer sess.ClearIgnored()
+		for _, id := range final.UsedStats {
+			st := mgr.Get(id)
+			if st == nil || !st.InDropList {
+				continue
+			}
+			sess.IgnoreStatisticsSubset(dbName, []stats.ID{id})
+			probe, err := sess.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			sess.ClearIgnored()
+			res.OptimizerCalls++
+			// Rescue when the statistic's absence changes the execution
+			// tree. Estimated-cost deltas are not a usable signal here:
+			// hiding a statistic swaps histogram estimates for magic
+			// numbers, moving the estimate in either direction regardless
+			// of whether the plan materially changed.
+			if !(ExecutionTree{}).Equivalent(probe, final) {
+				mgr.RemoveFromDropList(id)
+				res.Resurrected = append(res.Resurrected, id)
+			}
+		}
+		return res, nil
+	}
+
+	for {
+		res.Iterations++
+		// Step 4: selectivity variables forced onto magic numbers.
+		missing := sess.MissingStatVars(q)
+		if len(missing) == 0 {
+			res.TerminatedBy = TermNoMissing
+			return finish(p)
+		}
+		// Steps 5-6: the extreme plans.
+		low := make(map[int]float64, len(missing))
+		high := make(map[int]float64, len(missing))
+		for _, v := range missing {
+			low[v] = cfg.Epsilon
+			high[v] = 1 - cfg.Epsilon
+		}
+		sess.SetSelectivityOverrides(low)
+		pLow, err := sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		sess.SetSelectivityOverrides(high)
+		pHigh, err := sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		sess.ClearOverrides()
+		res.OptimizerCalls += 2
+		// Step 7: t-optimizer-cost equivalence of the extremes implies the
+		// existing set includes an essential set (by cost monotonicity).
+		if (TOptimizerCost{T: cfg.T}).Equivalent(pLow, pHigh) {
+			res.TerminatedBy = TermEquivalent
+			return finish(p)
+		}
+		// Step 8: pick the next statistic(s) from the default-magic plan.
+		nextFn := cfg.NextStatFn
+		if nextFn == nil {
+			nextFn = findNextStatToBuild
+		}
+		unit := nextFn(p, cands, mgr, consumed, missing)
+		if len(unit) == 0 {
+			res.TerminatedBy = TermNoCandidates
+			return finish(p)
+		}
+		// Step 10: build the unit (a single statistic, or a dependent pair
+		// for join columns).
+		var builtIDs []stats.ID
+		for _, c := range unit {
+			consumed[c.ID()] = true
+			if cfg.UseAging && mgr.RecentlyDropped(c.ID()) && p.Cost() <= cfg.AgingCostThreshold {
+				res.AgeSkipped = append(res.AgeSkipped, c.ID())
+				continue
+			}
+			if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+				return nil, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+			}
+			res.Created = append(res.Created, c.ID())
+			builtIDs = append(builtIDs, c.ID())
+		}
+		// Steps 11-12: re-optimize with default magic numbers.
+		pNew, err := sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		res.OptimizerCalls++
+		// MNSA/D (§5.1): if creating the statistic left the plan
+		// equivalent, heuristically mark it non-essential.
+		if cfg.Drop && len(builtIDs) > 0 && cfg.DropEquivalence.Equivalent(pNew, p) {
+			for _, id := range builtIDs {
+				if mgr.AddToDropList(id) {
+					res.DropListed = append(res.DropListed, id)
+				}
+			}
+		}
+		p = pNew
+	}
+}
+
+// RunMNSAD is RunMNSA with non-essential statistic detection enabled —
+// Magic Number Sensitivity Analysis with Drop (§5.1).
+func RunMNSAD(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, error) {
+	cfg.Drop = true
+	return RunMNSA(sess, q, cfg)
+}
+
+// WorkloadResult aggregates MNSA runs over a workload.
+type WorkloadResult struct {
+	PerQuery       []*Result
+	Created        []stats.ID
+	DropListed     []stats.ID
+	OptimizerCalls int
+}
+
+// RunMNSAWorkload invokes MNSA for each query in order (§4.3: "a sufficient
+// set of statistics for a workload can be obtained by invoking MNSA for each
+// query in the workload"). Statistics accumulate in the session's manager.
+func RunMNSAWorkload(sess *optimizer.Session, queries []*query.Select, cfg Config) (*WorkloadResult, error) {
+	wr := &WorkloadResult{}
+	seen := map[stats.ID]bool{}
+	for _, q := range queries {
+		r, err := RunMNSA(sess, q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wr.PerQuery = append(wr.PerQuery, r)
+		wr.OptimizerCalls += r.OptimizerCalls
+		for _, id := range r.Created {
+			if !seen[id] {
+				seen[id] = true
+				wr.Created = append(wr.Created, id)
+			}
+		}
+	}
+	// The final drop-list reflects later resurrections, so read it from the
+	// manager rather than accumulating per-query.
+	for _, st := range sess.Manager().DropList() {
+		wr.DropListed = append(wr.DropListed, st.ID)
+	}
+	return wr, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"autostats/internal/executor"
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// AutoManager glues the mechanisms into the §6 policies. In on-the-fly mode
+// (the most aggressive policy, as in SQL Server 7.0's auto-statistics, but
+// MNSA-pruned) every incoming query first passes through MNSA (or MNSA/D),
+// then is optimized and executed; DML statements execute directly and
+// periodically trigger the maintenance policy (update counters, threshold
+// refresh, drop-list-restricted drops).
+type AutoManager struct {
+	sess *optimizer.Session
+	ex   *executor.Executor
+
+	// MNSA configures the per-query statistics creation; set Drop for
+	// MNSA/D behaviour.
+	MNSA Config
+	// Policy is the maintenance (auto-update/auto-drop) policy.
+	Policy stats.MaintenancePolicy
+	// MaintenanceEvery runs a maintenance pass after every N statements
+	// (0 disables automatic maintenance).
+	MaintenanceEvery int
+
+	stmtCount int
+
+	// Totals since construction.
+	TotalExecCost   float64
+	StatementsRun   int
+	MaintenanceRuns int
+}
+
+// NewAutoManager builds an auto manager with the paper's defaults
+// (MNSA with t = 20 %, ε = 0.0005; SQL Server-style maintenance restricted
+// to drop-listed statistics).
+func NewAutoManager(sess *optimizer.Session, ex *executor.Executor) *AutoManager {
+	return &AutoManager{
+		sess:             sess,
+		ex:               ex,
+		MNSA:             DefaultConfig(),
+		Policy:           stats.DefaultMaintenancePolicy(),
+		MaintenanceEvery: 25,
+	}
+}
+
+// Session returns the underlying optimizer session.
+func (am *AutoManager) Session() *optimizer.Session { return am.sess }
+
+// ProcessStatement handles one incoming statement under the on-the-fly
+// policy and returns its execution result.
+func (am *AutoManager) ProcessStatement(stmt query.Statement) (*executor.Result, error) {
+	mgr := am.sess.Manager()
+	mgr.Tick()
+	am.StatementsRun++
+
+	if q, ok := stmt.(*query.Select); ok {
+		if _, err := RunMNSA(am.sess, q, am.MNSA); err != nil {
+			return nil, err
+		}
+	}
+	res, err := am.ex.RunStatement(am.sess, stmt)
+	if err != nil {
+		return nil, err
+	}
+	am.TotalExecCost += res.Cost
+
+	am.stmtCount++
+	if am.MaintenanceEvery > 0 && am.stmtCount%am.MaintenanceEvery == 0 {
+		if _, err := mgr.RunMaintenance(am.Policy); err != nil {
+			return nil, err
+		}
+		am.MaintenanceRuns++
+	}
+	return res, nil
+}
+
+// TuneReport summarizes an offline tuning pass.
+type TuneReport struct {
+	// MNSA is the per-query creation phase outcome.
+	MNSA *WorkloadResult
+	// Shrink is the Shrinking Set phase outcome (nil if skipped).
+	Shrink *ShrinkResult
+	// DropListed lists the statistics moved to the drop-list by shrinking.
+	DropListed []stats.ID
+}
+
+// OfflineTune implements the conservative §6 policy: an offline process runs
+// MNSA over every query of the workload, then the Shrinking Set algorithm
+// eliminates non-essential statistics, which are moved to the drop-list
+// (physical deletion remains a separate policy action). eq nil defaults to
+// execution-tree equivalence as in Figure 2.
+func OfflineTune(sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence) (*TuneReport, error) {
+	if eq == nil {
+		eq = ExecutionTree{}
+	}
+	rep := &TuneReport{}
+	wr, err := RunMNSAWorkload(sess, queries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.MNSA = wr
+
+	sr, err := ShrinkingSet(sess, queries, nil, eq)
+	if err != nil {
+		return nil, err
+	}
+	rep.Shrink = sr
+	mgr := sess.Manager()
+	for _, id := range sr.Removed {
+		if mgr.AddToDropList(id) {
+			rep.DropListed = append(rep.DropListed, id)
+		}
+	}
+	return rep, nil
+}

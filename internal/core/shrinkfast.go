@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sort"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// ShrinkingSetFast implements the efficiency technique sketched at the end
+// of §5.2 (detailed in the paper's [5]): "it is often possible to quickly
+// find a small set of statistics that is essential for many queries in the
+// workload. Once such a set S' is found, we subsequently need to consider
+// only those queries for which S' is not adequate."
+//
+// Phase 1 builds the seed set S': for every query, hide ALL candidate
+// removals at once and keep the statistics its plan still uses — one
+// optimization per query instead of one per (statistic, query) pair. Any
+// query whose plan under S' alone is already equivalent to its baseline is
+// marked covered and excluded from phase 2's per-statistic scans.
+//
+// Phase 2 runs the standard Figure 2 loop, but each statistic is tested only
+// against the uncovered queries (plus the §5.2 relevance filter).
+//
+// Because plan choice is not monotone in the visible statistics set, the
+// coverage shortcut can occasionally remove a statistic a covered query
+// needs; phase 3 therefore VERIFIES every query against the final survivor
+// set and repairs failures: the removed statistics relevant to a failing
+// query are restored (which provably re-establishes its baseline plan, since
+// only relevant statistics can be consulted), then each restored statistic
+// is re-tested against all queries.
+//
+// The survivor set carries the workload-equivalence guarantee of Figure 2;
+// unlike ShrinkingSet it is not guaranteed minimal (repair restores
+// conservatively), and — measured honestly — at this repository's micro
+// scale the optimizer-call savings rarely materialize, because the slow
+// algorithm's relevance filter plus early termination already prune most
+// tests. See BenchmarkAblationShrinkFast and EXPERIMENTS.md.
+func ShrinkingSetFast(sess *optimizer.Session, queries []*query.Select, initial []stats.ID, eq Equivalence) (*ShrinkResult, error) {
+	mgr := sess.Manager()
+	if initial == nil {
+		for _, s := range mgr.All() {
+			initial = append(initial, s.ID)
+		}
+	}
+	sorted := append([]stats.ID(nil), initial...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	inInitial := make(map[stats.ID]bool, len(sorted))
+	for _, id := range sorted {
+		inInitial[id] = true
+	}
+
+	res := &ShrinkResult{}
+	dbName := mgr.Database().Name
+	sess.ClearIgnored()
+	defer sess.ClearIgnored()
+
+	// Baselines Plan(Q, S).
+	baseline := make([]*optimizer.Plan, len(queries))
+	for i, q := range queries {
+		p, err := sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		res.OptimizerCalls++
+		baseline[i] = p
+	}
+
+	// Phase 1: seed set S' = statistics consulted by the baseline plans of
+	// a small prefix of the workload ("a small set of statistics that is
+	// essential for many queries"); workload queries repeat shapes, so a few
+	// plans usually cover the hot statistics.
+	seedFrom := len(queries)/10 + 3
+	if seedFrom > len(queries) {
+		seedFrom = len(queries)
+	}
+	seed := map[stats.ID]bool{}
+	for _, p := range baseline[:seedFrom] {
+		for _, id := range p.UsedStats {
+			if inInitial[id] {
+				seed[id] = true
+			}
+		}
+	}
+	// Queries already equivalent under the seed set alone are covered.
+	outsideSeed := make([]stats.ID, 0, len(sorted))
+	for _, id := range sorted {
+		if !seed[id] {
+			outsideSeed = append(outsideSeed, id)
+		}
+	}
+	covered := make([]bool, len(queries))
+	if len(outsideSeed) > 0 {
+		sess.IgnoreStatisticsSubset(dbName, outsideSeed)
+		for i, q := range queries {
+			p, err := sess.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			res.OptimizerCalls++
+			covered[i] = eq.Equivalent(p, baseline[i])
+		}
+		sess.ClearIgnored()
+	} else {
+		for i := range covered {
+			covered[i] = true
+		}
+	}
+
+	// Relevance filter (as in ShrinkingSet).
+	relevant := make([]map[string]map[string]bool, len(queries))
+	for i, q := range queries {
+		relevant[i] = map[string]map[string]bool{}
+		for t, cols := range classifyColumns(q).allColumns() {
+			m := map[string]bool{}
+			for _, c := range cols {
+				m[c] = true
+			}
+			relevant[i][t] = m
+		}
+	}
+
+	removed := map[stats.ID]bool{}
+	ignoreList := func(extra stats.ID) []stats.ID {
+		out := make([]stats.ID, 0, len(removed)+1)
+		for id := range removed {
+			out = append(out, id)
+		}
+		return append(out, extra)
+	}
+
+	// Statistics outside the seed set are non-essential for every COVERED
+	// query by construction; they only need testing against uncovered ones.
+	// Seed statistics are tested against every relevant query, since a
+	// covered query may depend on them.
+	for _, sid := range sorted {
+		st := mgr.Get(sid)
+		if st == nil {
+			continue
+		}
+		essential := false
+		for i, q := range queries {
+			if !seed[sid] && covered[i] {
+				continue
+			}
+			if !statRelevant(st, relevant[i]) {
+				continue
+			}
+			sess.IgnoreStatisticsSubset(dbName, ignoreList(sid))
+			p, err := sess.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			res.OptimizerCalls++
+			if !eq.Equivalent(p, baseline[i]) {
+				essential = true
+				break
+			}
+		}
+		if !essential {
+			removed[sid] = true
+			res.Removed = append(res.Removed, sid)
+		}
+	}
+	sess.ClearIgnored()
+
+	// Phase 3: verify every query against the survivor set and repair.
+	testStat := func(sid stats.ID) (bool, error) {
+		// Standard Figure 2 test of sid against ALL relevant queries under
+		// the current removed set.
+		st := mgr.Get(sid)
+		if st == nil {
+			return false, nil
+		}
+		for i, q := range queries {
+			if !statRelevant(st, relevant[i]) {
+				continue
+			}
+			sess.IgnoreStatisticsSubset(dbName, ignoreList(sid))
+			p, err := sess.Optimize(q)
+			if err != nil {
+				return false, err
+			}
+			res.OptimizerCalls++
+			if !eq.Equivalent(p, baseline[i]) {
+				return true, nil // essential somewhere
+			}
+		}
+		return false, nil
+	}
+	for pass := 0; pass < len(queries)+1; pass++ {
+		var restored []stats.ID
+		for i, q := range queries {
+			currentIgnore := make([]stats.ID, 0, len(removed))
+			for id := range removed {
+				currentIgnore = append(currentIgnore, id)
+			}
+			sess.IgnoreStatisticsSubset(dbName, currentIgnore)
+			p, err := sess.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			res.OptimizerCalls++
+			if eq.Equivalent(p, baseline[i]) {
+				continue
+			}
+			// Restore every removed statistic relevant to this query.
+			for id := range removed {
+				if st := mgr.Get(id); st != nil && statRelevant(st, relevant[i]) {
+					restored = append(restored, id)
+				}
+			}
+			for _, id := range restored {
+				delete(removed, id)
+			}
+		}
+		sess.ClearIgnored()
+		if len(restored) == 0 {
+			break
+		}
+		// Recover minimality: re-test each restored statistic against all
+		// queries; safe ones go back to removed.
+		sort.Slice(restored, func(i, j int) bool { return restored[i] < restored[j] })
+		for _, sid := range restored {
+			if removed[sid] {
+				continue
+			}
+			essential, err := testStat(sid)
+			if err != nil {
+				return nil, err
+			}
+			if !essential {
+				removed[sid] = true
+			}
+		}
+		sess.ClearIgnored()
+	}
+
+	res.Removed = res.Removed[:0]
+	for _, sid := range sorted {
+		if removed[sid] {
+			res.Removed = append(res.Removed, sid)
+		} else {
+			res.Kept = append(res.Kept, sid)
+		}
+	}
+	return res, nil
+}

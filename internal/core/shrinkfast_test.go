@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"autostats/internal/stats"
+	"autostats/internal/workload"
+)
+
+// TestShrinkingSetFastAgreesWithSlow: the fast variant must produce an
+// essential set with fewer optimizer calls; both variants' survivor sets
+// must be equivalent to the full initial set for every query.
+func TestShrinkingSetFastAgreesWithSlow(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	mgr := sess.Manager()
+	w, err := workload.Generate(db, workload.Config{Count: 25, Complexity: workload.Complex, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := w.Queries()
+	// Superset of an essential set: all candidates.
+	for _, c := range WorkloadCandidates(queries, CandidateStats) {
+		if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eq := ExecutionTree{}
+
+	slow, err := ShrinkingSet(sess, queries, nil, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ShrinkingSetFast(sess, queries, nil, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("slow: kept %d, %d optimizer calls; fast: kept %d, %d optimizer calls",
+		len(slow.Kept), slow.OptimizerCalls, len(fast.Kept), fast.OptimizerCalls)
+
+	// The fast variant trades minimality for the coverage shortcut; its
+	// overhead (verification + repair) must stay bounded.
+	if fast.OptimizerCalls > slow.OptimizerCalls*3/2 {
+		t.Errorf("fast variant used %d calls, slow used %d (overhead beyond bound)", fast.OptimizerCalls, slow.OptimizerCalls)
+	}
+
+	// Both survivor sets must preserve every query's plan vs the full set.
+	verify := func(name string, kept []stats.ID) {
+		keptSet := map[stats.ID]bool{}
+		for _, id := range kept {
+			keptSet[id] = true
+		}
+		for i, q := range queries {
+			full, err := planWithVisible(sess, q, allVisible(mgr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := planWithVisible(sess, q, keptSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq.Equivalent(sub, full) {
+				t.Errorf("%s survivor set not equivalent for Q%d: %s", name, i, q.SQL())
+			}
+		}
+	}
+	verify("slow", slow.Kept)
+	verify("fast", fast.Kept)
+}
+
+func allVisible(mgr *stats.Manager) map[stats.ID]bool {
+	m := map[stats.ID]bool{}
+	for _, st := range mgr.All() {
+		m[st.ID] = true
+	}
+	return m
+}
+
+// TestShrinkingSetFastMinimality: the fast result is minimal — removing any
+// survivor breaks equivalence for some query.
+func TestShrinkingSetFastMinimality(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	mgr := sess.Manager()
+	q := mustParse(t, db, `SELECT * FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey AND l_shipdate < DATE 8300 AND o_totalprice > 500000`)
+	var cIDs []stats.ID
+	for _, c := range CandidateStats(q) {
+		if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+			t.Fatal(err)
+		}
+		cIDs = append(cIDs, c.ID())
+	}
+	eq := ExecutionTree{}
+	fast, err := ShrinkingSetFast(sess, []*querySelect{q}, nil, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, reason, err := IsEssentialSet(sess, q, fast.Kept, cIDs, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("fast shrinking result is not an essential set: %s", reason)
+	}
+}

@@ -1,0 +1,92 @@
+package executor
+
+import (
+	"fmt"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/storage"
+)
+
+// RunStatement executes any statement. Queries are optimized with the given
+// session first; DML goes straight to storage.
+func (ex *Executor) RunStatement(sess *optimizer.Session, stmt query.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *query.Select:
+		plan, err := sess.Optimize(s)
+		if err != nil {
+			return nil, err
+		}
+		return ex.Run(plan)
+	case *query.Insert:
+		return ex.runInsert(s)
+	case *query.Delete:
+		return ex.runDelete(s)
+	case *query.Update:
+		return ex.runUpdate(s)
+	default:
+		return nil, fmt.Errorf("executor: unsupported statement type %T", stmt)
+	}
+}
+
+func (ex *Executor) runInsert(s *query.Insert) (*Result, error) {
+	td, err := ex.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := td.Insert(storage.Row(s.Values)); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: 1, Cost: 1}, nil
+}
+
+// matchingIDs scans the table for rows satisfying the filters, charging a
+// full-scan cost (DML in this engine always scans; its cost is dominated by
+// table size, which is what the update-cost experiments measure).
+func (ex *Executor) matchingIDs(td *storage.TableData, filters []query.Filter) ([]int, float64, error) {
+	rs := tableResultSet(td)
+	var ids []int
+	var ferr error
+	td.Scan(func(id int, r storage.Row) bool {
+		ok, err := evalFilters(rs, filters, r)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if ok {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids, float64(td.RowCount()) * optimizer.CostRowScan, ferr
+}
+
+func (ex *Executor) runDelete(s *query.Delete) (*Result, error) {
+	td, err := ex.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ids, cost, err := ex.matchingIDs(td, s.Filters)
+	if err != nil {
+		return nil, err
+	}
+	n := td.Delete(ids)
+	return &Result{Affected: n, Cost: cost + float64(n)}, nil
+}
+
+func (ex *Executor) runUpdate(s *query.Update) (*Result, error) {
+	td, err := ex.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	col := td.Schema.ColumnIndex(s.SetCol)
+	if col < 0 {
+		return nil, fmt.Errorf("executor: update %s: unknown column %s", s.Table, s.SetCol)
+	}
+	ids, cost, err := ex.matchingIDs(td, s.Filters)
+	if err != nil {
+		return nil, err
+	}
+	n := td.Update(ids, col, s.SetVal)
+	return &Result{Affected: n, Cost: cost + float64(n)}, nil
+}

@@ -1,0 +1,112 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autostats/internal/catalog"
+)
+
+func pairTuples(rng *rand.Rand, n, d1, d2 int) [][]catalog.Datum {
+	out := make([][]catalog.Datum, n)
+	for i := range out {
+		out[i] = []catalog.Datum{
+			catalog.NewInt(int64(rng.Intn(d1))),
+			catalog.NewInt(int64(rng.Intn(d2))),
+		}
+	}
+	return out
+}
+
+func TestBuildMultiDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tuples := pairTuples(rng, 3000, 20, 10)
+	mc, err := BuildMulti(MaxDiff, []string{"a", "b"}, tuples, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact distinct counts.
+	d1 := map[int64]bool{}
+	d2 := map[[2]int64]bool{}
+	for _, tp := range tuples {
+		d1[tp[0].I] = true
+		d2[[2]int64{tp[0].I, tp[1].I}] = true
+	}
+	if got := mc.DistinctPrefix(1); got != int64(len(d1)) {
+		t.Errorf("DistinctPrefix(1) = %d, want %d", got, len(d1))
+	}
+	if got := mc.DistinctPrefix(2); got != int64(len(d2)) {
+		t.Errorf("DistinctPrefix(2) = %d, want %d", got, len(d2))
+	}
+	if got := mc.PrefixDensity(2); math.Abs(got-1/float64(len(d2))) > 1e-12 {
+		t.Errorf("PrefixDensity(2) = %v", got)
+	}
+	// Out-of-range prefixes are inert.
+	if mc.PrefixDensity(0) != 1 || mc.PrefixDensity(3) != 1 {
+		t.Error("out-of-range PrefixDensity should be 1")
+	}
+	if mc.DistinctPrefix(0) != 0 || mc.DistinctPrefix(3) != 0 {
+		t.Error("out-of-range DistinctPrefix should be 0")
+	}
+	// The leading histogram summarizes column a.
+	if mc.Leading.Distinct != int64(len(d1)) {
+		t.Errorf("leading histogram distinct = %d", mc.Leading.Distinct)
+	}
+}
+
+func TestBuildMultiAsymmetric(t *testing.T) {
+	// (a,b) and (b,a) are different statistics: the histogram is on the
+	// leading column only (§7.1's asymmetry).
+	tuples := [][]catalog.Datum{
+		{catalog.NewInt(1), catalog.NewInt(100)},
+		{catalog.NewInt(1), catalog.NewInt(200)},
+	}
+	ab, _ := BuildMulti(MaxDiff, []string{"a", "b"}, tuples, 10)
+	rev := [][]catalog.Datum{
+		{catalog.NewInt(100), catalog.NewInt(1)},
+		{catalog.NewInt(200), catalog.NewInt(1)},
+	}
+	ba, _ := BuildMulti(MaxDiff, []string{"b", "a"}, rev, 10)
+	if ab.Leading.Distinct == ba.Leading.Distinct {
+		t.Error("leading histograms of (a,b) and (b,a) should differ here")
+	}
+	if ab.DistinctPrefix(2) != ba.DistinctPrefix(2) {
+		t.Error("full-prefix distinct count is order-independent")
+	}
+}
+
+func TestBuildMultiErrors(t *testing.T) {
+	if _, err := BuildMulti(MaxDiff, nil, nil, 10); err == nil {
+		t.Error("expected error for zero columns")
+	}
+	bad := [][]catalog.Datum{{catalog.NewInt(1)}}
+	if _, err := BuildMulti(MaxDiff, []string{"a", "b"}, bad, 10); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestEncodePrefixCollisionSafety(t *testing.T) {
+	// Strings that would collide under naive concatenation must not.
+	a := []catalog.Datum{catalog.NewString("ab"), catalog.NewString("c")}
+	b := []catalog.Datum{catalog.NewString("a"), catalog.NewString("bc")}
+	if encodePrefix(a) == encodePrefix(b) {
+		t.Error("prefix encoding collision for ('ab','c') vs ('a','bc')")
+	}
+	n := []catalog.Datum{catalog.NewNull(catalog.Int)}
+	z := []catalog.Datum{catalog.NewInt(0)}
+	if encodePrefix(n) == encodePrefix(z) {
+		t.Error("NULL must encode differently from zero")
+	}
+}
+
+func TestBuildMultiSingleColumn(t *testing.T) {
+	tuples := [][]catalog.Datum{{catalog.NewInt(1)}, {catalog.NewInt(1)}, {catalog.NewInt(2)}}
+	mc, err := BuildMulti(EquiDepth, []string{"x"}, tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.DistinctPrefix(1) != 2 || mc.Rows != 3 {
+		t.Errorf("single-column multi stat: %+v", mc)
+	}
+}

@@ -1,0 +1,361 @@
+package optimizer
+
+import (
+	"sort"
+	"strings"
+
+	"autostats/internal/histogram"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// MinSelectivity floors estimated selectivities so cardinalities never
+// collapse to exactly zero (which would make every plan cost-equivalent).
+const MinSelectivity = 1e-6
+
+// estimator carries per-query estimation state: which statistics were
+// consulted and which selectivity variables fell back to magic numbers.
+type estimator struct {
+	sess         *Session
+	q            *query.Select
+	used         map[stats.ID]bool
+	missing      map[int]bool
+	joinSelCache map[int]float64
+}
+
+func newEstimator(sess *Session, q *query.Select) *estimator {
+	return &estimator{
+		sess:         sess,
+		q:            q,
+		used:         make(map[stats.ID]bool),
+		missing:      make(map[int]bool),
+		joinSelCache: make(map[int]float64),
+	}
+}
+
+// visibleStatsFor returns the non-ignored statistics whose leading column is
+// table.column, most precise (fewest columns) first.
+func (e *estimator) visibleStatsFor(table, column string) []*stats.Statistic {
+	all := e.sess.mgr.StatsForColumn(table, column)
+	out := all[:0:0]
+	for _, s := range all {
+		if !e.sess.ignored[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// visibleStatByID returns the statistic if it exists and is not ignored.
+func (e *estimator) visibleStatByID(id stats.ID) *stats.Statistic {
+	if e.sess.ignored[id] {
+		return nil
+	}
+	return e.sess.mgr.Get(id)
+}
+
+// filterSel estimates the selectivity of one filter. When no statistic with
+// a matching leading column is visible, the predicate's selectivity variable
+// is recorded as missing and the override (if any) or the magic number is
+// used.
+func (e *estimator) filterSel(f query.Filter) float64 {
+	cands := e.visibleStatsFor(f.Col.Table, f.Col.Column)
+	if len(cands) > 0 {
+		st := cands[0]
+		e.used[st.ID] = true
+		h := st.Data.Leading
+		var sel float64
+		switch f.Op {
+		case query.Eq:
+			sel = h.SelectivityEq(f.Val)
+		case query.Ne:
+			sel = 1 - h.SelectivityEq(f.Val) - h.NullFraction()
+		case query.Lt:
+			sel = h.SelectivityLess(f.Val, false)
+		case query.Le:
+			sel = h.SelectivityLess(f.Val, true)
+		case query.Gt:
+			sel = 1 - h.SelectivityLess(f.Val, true) - h.NullFraction()
+		case query.Ge:
+			sel = 1 - h.SelectivityLess(f.Val, false) - h.NullFraction()
+		}
+		return clampSel(sel)
+	}
+	e.missing[f.VarID] = true
+	if ov, ok := e.sess.overrides[f.VarID]; ok {
+		return clampSel(ov)
+	}
+	m := e.sess.Magic
+	switch {
+	case f.Op == query.Eq:
+		return m.Eq
+	case f.Op == query.Ne:
+		return m.Ne
+	default:
+		return m.Range
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < MinSelectivity {
+		return MinSelectivity
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// tableSelectivity estimates the combined selectivity of a conjunction of
+// filters on one table. Equality predicates covered by the longest usable
+// leading prefix of a visible multi-column statistic are estimated together
+// through the prefix density (capturing correlation); the rest multiply
+// independently.
+func (e *estimator) tableSelectivity(table string, filters []query.Filter) float64 {
+	if len(filters) == 0 {
+		return 1
+	}
+	// Equality filters eligible for multi-column coverage: no override on
+	// their variable (overrides must win to keep MNSA's P_low/P_high exact).
+	eqCols := make(map[string]query.Filter)
+	for _, f := range filters {
+		if f.Op != query.Eq {
+			continue
+		}
+		if _, ov := e.sess.overrides[f.VarID]; ov {
+			// Only pre-empts coverage when the variable would use the
+			// override, i.e. when it has no single-column coverage either;
+			// keeping it out of prefix coverage is the conservative choice.
+			continue
+		}
+		eqCols[strings.ToLower(f.Col.Column)] = f
+	}
+	var bestStat *stats.Statistic
+	bestLen := 1 // require >= 2 covered columns to engage a prefix density
+	if len(eqCols) >= 2 {
+		for _, st := range e.sess.mgr.StatsOnTable(table) {
+			if e.sess.ignored[st.ID] || len(st.Columns) < 2 {
+				continue
+			}
+			k := 0
+			for _, c := range st.Columns {
+				if _, ok := eqCols[c]; !ok {
+					break
+				}
+				k++
+			}
+			if k > bestLen {
+				bestLen, bestStat = k, st
+			}
+		}
+	}
+	covered := make(map[int]bool)
+	sel := 1.0
+	if bestStat != nil {
+		e.used[bestStat.ID] = true
+		sel *= clampSel(bestStat.Data.PrefixDensity(bestLen))
+		for _, c := range bestStat.Columns[:bestLen] {
+			covered[eqCols[c].VarID] = true
+		}
+	}
+	for _, f := range filters {
+		if covered[f.VarID] {
+			continue
+		}
+		sel *= e.filterSel(f)
+	}
+	return clampSel(sel)
+}
+
+// distinctOf returns the distinct-value count of a column from any visible
+// statistic with that leading column.
+func (e *estimator) distinctOf(c query.ColumnRef) (float64, bool) {
+	cands := e.visibleStatsFor(c.Table, c.Column)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	st := cands[0]
+	e.used[st.ID] = true
+	d := st.Data.Leading.Distinct
+	if d < 1 {
+		d = 1
+	}
+	return float64(d), true
+}
+
+// joinSel estimates one equi-join predicate's selectivity from the two
+// sides' leading histograms via the bucket-overlap dot product (accurate
+// under skew); with either side uncovered the variable is missing and the
+// override or join magic number applies. Results are memoized per variable:
+// join enumeration consults the same predicate many times.
+func (e *estimator) joinSel(j query.JoinPred) float64 {
+	if sel, ok := e.joinSelCache[j.VarID]; ok {
+		return sel
+	}
+	sel := e.joinSelUncached(j)
+	e.joinSelCache[j.VarID] = sel
+	return sel
+}
+
+func (e *estimator) joinSelUncached(j query.JoinPred) float64 {
+	lc := e.visibleStatsFor(j.Left.Table, j.Left.Column)
+	rc := e.visibleStatsFor(j.Right.Table, j.Right.Column)
+	if len(lc) > 0 && len(rc) > 0 {
+		e.used[lc[0].ID] = true
+		e.used[rc[0].ID] = true
+		return clampSel(histogram.JoinSelectivity(lc[0].Data.Leading, rc[0].Data.Leading))
+	}
+	e.missing[j.VarID] = true
+	if ov, ok := e.sess.overrides[j.VarID]; ok {
+		return clampSel(ov)
+	}
+	return e.sess.Magic.Join
+}
+
+// joinGroupSel estimates the combined selectivity of all join predicates
+// between one pair of tables. Predicates multiply independently, each
+// estimated by the histogram dot product; with two or more predicates the
+// pair of multi-column statistics on the (sorted) join columns of each side
+// (§7.1's per-table join-column statistic), when visible, caps the product
+// from below via the containment bound 1/max(DV_left, DV_right) — the
+// correlation correction for composite foreign keys, without ever overriding
+// a histogram-based estimate with a cruder one.
+func (e *estimator) joinGroupSel(preds []query.JoinPred) float64 {
+	sel := 1.0
+	for _, p := range preds {
+		sel *= e.joinSel(p)
+	}
+	sel = clampSel(sel)
+	if len(preds) >= 2 {
+		lTable, rTable := preds[0].Left.Table, preds[0].Right.Table
+		lCols := make([]string, len(preds))
+		rCols := make([]string, len(preds))
+		for i, p := range preds {
+			lCols[i], rCols[i] = p.Left.Column, p.Right.Column
+		}
+		sort.Strings(lCols)
+		sort.Strings(rCols)
+		lStat := e.visibleStatByID(stats.MakeID(lTable, lCols))
+		rStat := e.visibleStatByID(stats.MakeID(rTable, rCols))
+		if lStat != nil && rStat != nil {
+			e.used[lStat.ID] = true
+			e.used[rStat.ID] = true
+			lv := float64(lStat.Data.DistinctPrefix(len(lCols)))
+			rv := float64(rStat.Data.DistinctPrefix(len(rCols)))
+			m := lv
+			if rv > m {
+				m = rv
+			}
+			if m >= 1 && sel < 1/m {
+				sel = clampSel(1 / m)
+			}
+		}
+	}
+	return sel
+}
+
+// groupCount estimates the number of groups a GROUP BY / DISTINCT produces
+// from inputRows input rows. When every grouping column is covered by
+// statistics the estimate is the (capped) product of per-table distinct
+// counts; otherwise the clause's distinct-fraction variable is missing and
+// the override or magic fraction applies (§4.1).
+func (e *estimator) groupCount(inputRows float64) float64 {
+	cols := e.q.GroupingColumns()
+	if len(cols) == 0 {
+		return inputRows
+	}
+	byTable := make(map[string][]string)
+	var tables []string
+	for _, c := range cols {
+		t := strings.ToLower(c.Table)
+		if _, ok := byTable[t]; !ok {
+			tables = append(tables, t)
+		}
+		byTable[t] = append(byTable[t], strings.ToLower(c.Column))
+	}
+	sort.Strings(tables)
+	distinct := 1.0
+	covered := true
+	for _, t := range tables {
+		tcols := byTable[t]
+		sort.Strings(tcols)
+		if len(tcols) >= 2 {
+			if st := e.visibleStatByID(stats.MakeID(t, tcols)); st != nil {
+				e.used[st.ID] = true
+				dv := float64(st.Data.DistinctPrefix(len(tcols)))
+				if dv < 1 {
+					dv = 1
+				}
+				distinct *= dv
+				continue
+			}
+		}
+		// Fall back to independent per-column distinct counts, capped by
+		// the table cardinality.
+		prod := 1.0
+		ok := true
+		for _, c := range tcols {
+			v, has := e.distinctOf(query.ColumnRef{Table: t, Column: c})
+			if !has {
+				ok = false
+				break
+			}
+			prod *= v
+		}
+		if !ok {
+			covered = false
+			break
+		}
+		if td, err := e.sess.mgr.Database().Table(t); err == nil {
+			if cap := float64(td.RowCount()); prod > cap && cap >= 1 {
+				prod = cap
+			}
+		}
+		distinct *= prod
+	}
+	if covered {
+		if distinct > inputRows {
+			distinct = inputRows
+		}
+		if distinct < 1 {
+			distinct = 1
+		}
+		return distinct
+	}
+	if e.q.GroupVarID >= 0 {
+		e.missing[e.q.GroupVarID] = true
+		if ov, ok := e.sess.overrides[e.q.GroupVarID]; ok {
+			g := clampSel(ov) * inputRows
+			if g < 1 {
+				g = 1
+			}
+			return g
+		}
+	}
+	g := e.sess.Magic.GroupFrac * inputRows
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// missingVars returns the sorted selectivity-variable IDs that fell back to
+// magic numbers during estimation.
+func (e *estimator) missingVars() []int {
+	out := make([]int, 0, len(e.missing))
+	for v := range e.missing {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// usedStats returns the sorted IDs of statistics consulted.
+func (e *estimator) usedStats() []stats.ID {
+	out := make([]stats.ID, 0, len(e.used))
+	for id := range e.used {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,73 @@
+package optimizer
+
+import (
+	"autostats/internal/stats"
+)
+
+// Session is one optimization session against a database. It carries the two
+// server extensions of §7.2:
+//
+//   - IgnoreStatisticsSubset: a connection-specific buffer of statistics the
+//     optimizer must not consider (used by the Shrinking Set algorithm to
+//     obtain Plan(Q, S−{s}) without physically dropping s);
+//   - SetSelectivityOverrides: parameterized selectivities for predicates
+//     that would otherwise fall back to default magic numbers (used by MNSA
+//     to construct P_low and P_high).
+//
+// Sessions are not safe for concurrent use; create one per goroutine.
+type Session struct {
+	mgr   *stats.Manager
+	Magic MagicNumbers
+
+	ignored   map[stats.ID]bool
+	overrides map[int]float64
+}
+
+// NewSession creates a session over the given statistics manager with
+// default magic numbers.
+func NewSession(mgr *stats.Manager) *Session {
+	return &Session{
+		mgr:       mgr,
+		Magic:     DefaultMagicNumbers(),
+		ignored:   make(map[stats.ID]bool),
+		overrides: make(map[int]float64),
+	}
+}
+
+// Manager returns the underlying statistics manager.
+func (s *Session) Manager() *stats.Manager { return s.mgr }
+
+// IgnoreStatisticsSubset replaces the session's ignore buffer: subsequent
+// optimizations behave as if the listed statistics did not exist. The dbID
+// parameter mirrors the server call signature; it must match the managed
+// database's name ("" matches any).
+func (s *Session) IgnoreStatisticsSubset(dbID string, ids []stats.ID) {
+	if dbID != "" && dbID != s.mgr.Database().Name {
+		return
+	}
+	s.ignored = make(map[stats.ID]bool, len(ids))
+	for _, id := range ids {
+		s.ignored[id] = true
+	}
+}
+
+// ClearIgnored empties the ignore buffer.
+func (s *Session) ClearIgnored() { s.ignored = make(map[stats.ID]bool) }
+
+// Ignored reports whether the statistic is currently ignored.
+func (s *Session) Ignored(id stats.ID) bool { return s.ignored[id] }
+
+// SetSelectivityOverrides replaces the per-predicate selectivity parameters.
+// An override applies ONLY where the optimizer would otherwise use a default
+// magic number; predicates covered by visible statistics are unaffected
+// (§7.2: "accept the selectivity of such predicates as a parameter rather
+// than using the default magic number").
+func (s *Session) SetSelectivityOverrides(ov map[int]float64) {
+	s.overrides = make(map[int]float64, len(ov))
+	for k, v := range ov {
+		s.overrides[k] = v
+	}
+}
+
+// ClearOverrides removes all selectivity overrides.
+func (s *Session) ClearOverrides() { s.overrides = make(map[int]float64) }

@@ -1,0 +1,165 @@
+// Package sqlparser parses the SQL subset the system works with (normalized
+// SPJ queries with GROUP BY/ORDER BY, plus INSERT/UPDATE/DELETE) into the
+// query AST. Statements rendered by the AST's SQL() methods parse back to
+// equal statements, which the workload serializer relies on.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , . * = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.input) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.input[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '<':
+			if l.pos+1 < len(l.input) && (l.input[l.pos+1] == '=' || l.input[l.pos+1] == '>') {
+				l.emit(tokPunct, l.input[l.pos:l.pos+2], start)
+				l.pos += 2
+			} else {
+				l.emit(tokPunct, "<", start)
+				l.pos++
+			}
+		case c == '>':
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+				l.emit(tokPunct, ">=", start)
+				l.pos += 2
+			} else {
+				l.emit(tokPunct, ">", start)
+				l.pos++
+			}
+		case c == '!':
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+				l.emit(tokPunct, "<>", start)
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sqlparser: unexpected '!' at %d", l.pos)
+			}
+		case strings.ContainsRune("(),.*=", rune(c)):
+			l.emit(tokPunct, string(c), start)
+			l.pos++
+		case c == ';':
+			l.pos++ // statement terminator, ignored
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '#'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.input[start:l.pos], start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos+1 < len(l.input):
+			next := l.input[l.pos+1]
+			if next >= '0' && next <= '9' || next == '-' || next == '+' {
+				seenExp = true
+				l.pos += 2
+			} else {
+				l.emit(tokNumber, l.input[start:l.pos], start)
+				return
+			}
+		default:
+			l.emit(tokNumber, l.input[start:l.pos], start)
+			return
+		}
+	}
+	l.emit(tokNumber, l.input[start:l.pos], start)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string literal at %d", start)
+}

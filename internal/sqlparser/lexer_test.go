@@ -1,0 +1,111 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, c FROM t WHERE x >= 1.5e2 AND y <> 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents, nums, strs, puncts int
+	for _, tok := range toks {
+		switch tok.kind {
+		case tokIdent:
+			idents++
+		case tokNumber:
+			nums++
+		case tokString:
+			strs++
+		case tokPunct:
+			puncts++
+		}
+	}
+	if idents != 10 || nums != 1 || strs != 1 {
+		t.Errorf("lexed idents=%d nums=%d strs=%d puncts=%d: %v", idents, nums, strs, puncts, toks)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"-7":      "-7",
+		"3.14":    "3.14",
+		"1e5":     "1e5",
+		"2.5E-3":  "2.5E-3",
+		"1.5e+10": "1.5e+10",
+	}
+	for in, want := range cases {
+		toks, err := lex(in)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", in, err)
+		}
+		if toks[0].kind != tokNumber || toks[0].text != want {
+			t.Errorf("lex(%q) = %v (%q)", in, toks[0].kind, toks[0].text)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex("< <= > >= <> != = ( ) , . *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "<>", "<>", "=", "(", ")", ",", ".", "*"}
+	for i, w := range want {
+		if toks[i].kind != tokPunct || toks[i].text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex("'a''b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "a'b" {
+		t.Errorf("escaped string = %q", toks[0].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "@"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("expected lex error for %q", bad)
+		}
+	}
+}
+
+func TestLexIdentWithHash(t *testing.T) {
+	// Generated data uses labels like Brand#23; '#' is an identifier char.
+	toks, err := lex("Brand#23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "Brand#23" {
+		t.Errorf("ident = %q", toks[0].text)
+	}
+}
+
+func TestLexSemicolonIgnored(t *testing.T) {
+	toks, err := lex("a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds(toks)) != 2 { // ident + EOF
+		t.Errorf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,202 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/datagen"
+	"autostats/internal/query"
+)
+
+func schema(t testing.TB) *catalog.Schema {
+	t.Helper()
+	return datagen.Schema()
+}
+
+func parseSel(t *testing.T, sql string) *query.Select {
+	t.Helper()
+	q, err := ParseSelect(schema(t), sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseSel(t, "SELECT * FROM lineitem WHERE l_quantity < 10")
+	if len(q.Tables) != 1 || q.Tables[0] != "lineitem" {
+		t.Errorf("tables = %v", q.Tables)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Op != query.Lt || q.Filters[0].Col.Column != "l_quantity" {
+		t.Errorf("filters = %v", q.Filters)
+	}
+	if q.Filters[0].Val.T != catalog.Float {
+		t.Errorf("literal should coerce to the column type Float, got %v", q.Filters[0].Val.T)
+	}
+}
+
+func TestParseJoinAndAliases(t *testing.T) {
+	q := parseSel(t, "SELECT o.o_orderkey FROM orders o, lineitem l WHERE l.l_orderkey = o.o_orderkey AND o.o_totalprice > 100")
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.Left.Table != "lineitem" || j.Right.Table != "orders" {
+		t.Errorf("join sides = %v", j)
+	}
+	if len(q.Projection) != 1 || q.Projection[0].Table != "orders" {
+		t.Errorf("projection = %v", q.Projection)
+	}
+}
+
+func TestParseUnqualifiedResolution(t *testing.T) {
+	q := parseSel(t, "SELECT * FROM orders, customer WHERE o_custkey = c_custkey AND c_acctbal > 0")
+	if len(q.Joins) != 1 || q.Joins[0].Left.Table != "orders" {
+		t.Errorf("joins = %v", q.Joins)
+	}
+	if q.Filters[0].Col.Table != "customer" {
+		t.Errorf("filter resolved to %v", q.Filters[0].Col)
+	}
+}
+
+func TestParseAmbiguousColumn(t *testing.T) {
+	// l_partkey exists in lineitem only, but comment columns collide? Use a
+	// genuinely ambiguous name by joining two tables that share none —
+	// TPC-D column names are prefixed, so craft ambiguity via a small
+	// schema instead.
+	s := catalog.NewSchema()
+	_ = s.AddTable(catalog.NewTable("a", catalog.Column{Name: "id", Type: catalog.Int}, catalog.Column{Name: "ka", Type: catalog.Int}))
+	_ = s.AddTable(catalog.NewTable("b", catalog.Column{Name: "id", Type: catalog.Int}, catalog.Column{Name: "kb", Type: catalog.Int}))
+	if _, err := Parse(s, "SELECT * FROM a, b WHERE id = 1 AND ka = kb"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity error, got %v", err)
+	}
+	if _, err := Parse(s, "SELECT * FROM a, b WHERE a.id = 1 AND ka = kb"); err != nil {
+		t.Errorf("qualified reference should parse: %v", err)
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	q := parseSel(t, "SELECT * FROM lineitem WHERE l_discount BETWEEN 0.05 AND 0.07")
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+	if q.Filters[0].Op != query.Ge || q.Filters[1].Op != query.Le {
+		t.Errorf("BETWEEN ops = %v %v", q.Filters[0].Op, q.Filters[1].Op)
+	}
+}
+
+func TestParseGroupOrderDistinct(t *testing.T) {
+	q := parseSel(t, "SELECT DISTINCT l_returnflag FROM lineitem")
+	if !q.Distinct || q.GroupVarID < 0 {
+		t.Error("DISTINCT not recognized")
+	}
+	q = parseSel(t, "SELECT l_returnflag FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag")
+	if len(q.GroupBy) != 1 || len(q.OrderBy) != 1 {
+		t.Errorf("group/order = %v / %v", q.GroupBy, q.OrderBy)
+	}
+}
+
+func TestParseDateAndStringLiterals(t *testing.T) {
+	q := parseSel(t, "SELECT * FROM orders WHERE o_orderdate < DATE 9000 AND o_orderpriority = '1-URGENT'")
+	if q.Filters[0].Val.T != catalog.Date || q.Filters[0].Val.I != 9000 {
+		t.Errorf("date literal = %v", q.Filters[0].Val)
+	}
+	if q.Filters[1].Val.S != "1-URGENT" {
+		t.Errorf("string literal = %v", q.Filters[1].Val)
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	s := catalog.NewSchema()
+	_ = s.AddTable(catalog.NewTable("t", catalog.Column{Name: "s", Type: catalog.String}))
+	q, err := ParseSelect(s, "SELECT * FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filters[0].Val.S != "it's" {
+		t.Errorf("escaped quote = %q", q.Filters[0].Val.S)
+	}
+}
+
+func TestParseIntLiteralCoercions(t *testing.T) {
+	// Int literal against a float column becomes Float.
+	q := parseSel(t, "SELECT * FROM lineitem WHERE l_quantity > 10")
+	if q.Filters[0].Val.T != catalog.Float || q.Filters[0].Val.F != 10 {
+		t.Errorf("coercion to float: %v", q.Filters[0].Val)
+	}
+	// Bare int against a date column becomes Date.
+	q = parseSel(t, "SELECT * FROM orders WHERE o_orderdate >= 8400")
+	if q.Filters[0].Val.T != catalog.Date {
+		t.Errorf("coercion to date: %v", q.Filters[0].Val)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	s := schema(t)
+	stmt, err := Parse(s, "INSERT INTO region VALUES (9, 'NOWHERE', 'c')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*query.Insert)
+	if ins.Table != "region" || len(ins.Values) != 3 || ins.Values[0].I != 9 {
+		t.Errorf("insert = %+v", ins)
+	}
+	stmt, err = Parse(s, "DELETE FROM region WHERE r_regionkey = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*query.Delete)
+	if del.Table != "region" || len(del.Filters) != 1 {
+		t.Errorf("delete = %+v", del)
+	}
+	stmt, err = Parse(s, "UPDATE region SET r_name = 'X' WHERE r_regionkey = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := stmt.(*query.Update)
+	if upd.SetCol != "r_name" || upd.SetVal.S != "X" {
+		t.Errorf("update = %+v", upd)
+	}
+}
+
+func TestParseInsertArityErrors(t *testing.T) {
+	s := schema(t)
+	if _, err := Parse(s, "INSERT INTO region VALUES (1, 'A')"); err == nil {
+		t.Error("expected too-few-values error")
+	}
+	if _, err := Parse(s, "INSERT INTO region VALUES (1, 'A', 'c', 4)"); err == nil {
+		t.Error("expected too-many-values error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := schema(t)
+	for _, bad := range []string{
+		"",
+		"SELEC * FROM region",
+		"SELECT * FROM nosuch",
+		"SELECT * FROM region WHERE r_nope = 1",
+		"SELECT * FROM region WHERE r_regionkey <",
+		"SELECT * FROM region trailing WHERE r_regionkey = 1 garbage extra",
+		"SELECT * FROM lineitem, orders WHERE l_orderkey < o_orderkey", // non-equi join
+		"SELECT * FROM region WHERE r_name = 'unterminated",
+		"DELETE FROM region WHERE r_regionkey = r_regionkey", // same-table col-col
+	} {
+		if _, err := Parse(s, bad); err == nil {
+			t.Errorf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseSelectRejectsDML(t *testing.T) {
+	if _, err := ParseSelect(schema(t), "DELETE FROM region"); err == nil {
+		t.Error("ParseSelect must reject DML")
+	}
+}
+
+func TestParseSemicolonTolerated(t *testing.T) {
+	if _, err := Parse(schema(t), "SELECT * FROM region;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+}

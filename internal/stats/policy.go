@@ -1,0 +1,75 @@
+package stats
+
+// MaintenancePolicy captures the SQL Server 7.0 auto-statistics maintenance
+// policy described in §2 and §6: statistics on a table are refreshed when
+// the rows modified since the last refresh exceed a fraction of the table
+// size, and a statistic refreshed more than MaxUpdates times is physically
+// dropped. The paper's modification (§6) restricts dropping to statistics
+// already identified as non-essential, i.e. in the drop-list.
+type MaintenancePolicy struct {
+	// UpdateFraction triggers a refresh of a table's statistics when
+	// modCounter > UpdateFraction * rowCount. SQL Server 7.0 used a value
+	// in this spirit; 0.2 is the default here.
+	UpdateFraction float64
+	// MaxUpdates physically drops a statistic updated more than this many
+	// times. Zero disables dropping.
+	MaxUpdates int
+	// DropListOnly, when true, applies the paper's extension: only
+	// drop-listed (non-essential) statistics are eligible for physical drop.
+	DropListOnly bool
+}
+
+// DefaultMaintenancePolicy mirrors the paper's recommended configuration.
+func DefaultMaintenancePolicy() MaintenancePolicy {
+	return MaintenancePolicy{UpdateFraction: 0.2, MaxUpdates: 4, DropListOnly: true}
+}
+
+// MaintenanceReport summarizes one maintenance pass.
+type MaintenanceReport struct {
+	TablesRefreshed int
+	StatsRefreshed  int
+	StatsDropped    int
+	UpdateCostUnits float64
+}
+
+// RunMaintenance applies the policy once across all tables: refreshes
+// statistics on tables whose modification counter exceeds the threshold,
+// then drops over-updated statistics per the policy.
+func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error) {
+	var rep MaintenanceReport
+	costBefore := m.TotalUpdateCost
+	for _, table := range m.db.Schema.TableNames() {
+		td, err := m.db.Table(table)
+		if err != nil {
+			return rep, err
+		}
+		rows := td.RowCount()
+		threshold := p.UpdateFraction * float64(rows)
+		if rows == 0 || float64(td.ModCounter()) <= threshold {
+			continue
+		}
+		n, err := m.RefreshTable(table)
+		if err != nil {
+			return rep, err
+		}
+		if n > 0 {
+			rep.TablesRefreshed++
+			rep.StatsRefreshed += n
+		}
+	}
+	if p.MaxUpdates > 0 {
+		for _, s := range m.All() {
+			if s.UpdateCount <= p.MaxUpdates {
+				continue
+			}
+			if p.DropListOnly && !s.InDropList {
+				continue
+			}
+			if m.Drop(s.ID) {
+				rep.StatsDropped++
+			}
+		}
+	}
+	rep.UpdateCostUnits = m.TotalUpdateCost - costBefore
+	return rep, nil
+}

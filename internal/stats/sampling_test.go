@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/datagen"
+	"autostats/internal/histogram"
+)
+
+func TestSetSamplingValidation(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	if err := m.SetSampling(SampleConfig{Fraction: -0.1}); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if err := m.SetSampling(SampleConfig{Fraction: 1.5}); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+	if err := m.SetSampling(SampleConfig{Fraction: 0.2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sampling().Fraction != 0.2 {
+		t.Error("config not stored")
+	}
+}
+
+func TestSampledBuildCheaperAndScaled(t *testing.T) {
+	db, err := datagen.Generate(datagen.Config{Scale: 1, Z: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewManager(db, histogram.MaxDiff, 0)
+	fs, err := full.Create("lineitem", []string{"l_shipdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sampled := NewManager(db, histogram.MaxDiff, 0)
+	if err := sampled.SetSampling(SampleConfig{Fraction: 0.1, MinRows: 100, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sampled.Create("lineitem", []string{"l_shipdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ss.BuildCost >= fs.BuildCost/2 {
+		t.Errorf("sampled build cost %v should be far below full %v", ss.BuildCost, fs.BuildCost)
+	}
+	// Row totals scale back to the table cardinality (±1% rounding).
+	n := float64(db.MustTable("lineitem").RowCount())
+	if got := float64(ss.Data.Leading.TotalRows()); math.Abs(got-n)/n > 0.02 {
+		t.Errorf("scaled rows %v, want ≈%v", got, n)
+	}
+	// Selectivity estimates stay close to the full-scan statistic for the
+	// hot region of a skewed column.
+	for _, probe := range []int64{8035, 8100, 8400} {
+		v := catalog.NewDate(probe)
+		fullSel := fs.Data.Leading.SelectivityLess(v, true)
+		sampSel := ss.Data.Leading.SelectivityLess(v, true)
+		if math.Abs(fullSel-sampSel) > 0.08 {
+			t.Errorf("DATE<=%d: sampled sel %v vs full %v", probe, sampSel, fullSel)
+		}
+	}
+	// Distinct estimate within a reasonable factor.
+	fd, sd := float64(fs.Data.Leading.Distinct), float64(ss.Data.Leading.Distinct)
+	if sd < fd/3 || sd > fd*3 {
+		t.Errorf("sampled distinct %v vs full %v", sd, fd)
+	}
+}
+
+func TestSamplingSkipsSmallTables(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0) // 100-row table
+	if err := m.SetSampling(SampleConfig{Fraction: 0.1, MinRows: 200, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Create("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Data.Rows != 100 {
+		t.Errorf("small table should be exact, got %d rows", st.Data.Rows)
+	}
+	if st.Data.Leading.Distinct != 10 {
+		t.Errorf("small table distinct should be exact, got %d", st.Data.Leading.Distinct)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	db, _ := datagen.Generate(datagen.Config{Scale: 0.5, Z: 1, Seed: 2})
+	build := func() *Statistic {
+		m := NewManager(db, histogram.MaxDiff, 0)
+		_ = m.SetSampling(SampleConfig{Fraction: 0.2, Seed: 9})
+		st, err := m.Create("lineitem", []string{"l_quantity"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := build(), build()
+	if a.Data.Leading.Distinct != b.Data.Leading.Distinct || a.Data.Rows != b.Data.Rows {
+		t.Error("sampled build must be deterministic")
+	}
+	// Different statistics draw different samples (independence, §2).
+	m := NewManager(db, histogram.MaxDiff, 0)
+	_ = m.SetSampling(SampleConfig{Fraction: 0.2, Seed: 9})
+	s1, _ := m.Create("lineitem", []string{"l_quantity"})
+	s2, _ := m.Create("lineitem", []string{"l_tax"})
+	if s1.Data.Leading.Rows != s2.Data.Leading.Rows {
+		// Same sample size is expected; the point is the draw is seeded
+		// per-statistic, which we can only assert indirectly here.
+		t.Logf("sample sizes: %d vs %d", s1.Data.Leading.Rows, s2.Data.Leading.Rows)
+	}
+}

@@ -1,0 +1,383 @@
+// Package stats implements the statistics manager: creation, update and
+// deletion of single- and multi-column statistics over a storage.Database,
+// the drop-list of §5, the aging mechanism of §6, and the SQL Server 7.0
+// auto-update/auto-drop maintenance policy the paper extends.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"autostats/internal/histogram"
+	"autostats/internal/storage"
+)
+
+// ID uniquely names a statistic as "table(col1,col2,...)" in lower case.
+// Column order matters: multi-column statistics are asymmetric (§7.1).
+type ID string
+
+// MakeID builds the canonical statistic ID.
+func MakeID(table string, cols []string) ID {
+	lower := make([]string, len(cols))
+	for i, c := range cols {
+		lower[i] = strings.ToLower(c)
+	}
+	return ID(strings.ToLower(table) + "(" + strings.Join(lower, ",") + ")")
+}
+
+// Statistic is one created statistic and its bookkeeping.
+type Statistic struct {
+	ID      ID
+	Table   string
+	Columns []string
+	// Data is the summary structure; single-column statistics are
+	// MultiColumn with one column.
+	Data *histogram.MultiColumn
+
+	// BuildCost is the work-unit cost charged when the statistic was built
+	// (and charged again on every refresh).
+	BuildCost float64
+	// BuildTime is the wall-clock time of the most recent (re)build.
+	BuildTime time.Duration
+	// CreatedAt / UpdatedAt are logical-clock stamps.
+	CreatedAt int64
+	UpdatedAt int64
+	// UpdateCount counts refreshes since creation (drives the auto-drop
+	// policy threshold).
+	UpdateCount int
+	// InDropList marks the statistic as identified non-essential (§5).
+	// Drop-listed statistics remain usable by the optimizer until
+	// physically dropped but incur no maintenance cost.
+	InDropList bool
+}
+
+// IsSingleColumn reports whether the statistic covers exactly one column.
+func (s *Statistic) IsSingleColumn() bool { return len(s.Columns) == 1 }
+
+// LeadingColumn returns the first (histogram-bearing) column.
+func (s *Statistic) LeadingColumn() string { return s.Columns[0] }
+
+// Manager owns all statistics of one database.
+type Manager struct {
+	db         *storage.Database
+	kind       histogram.Kind
+	maxBuckets int
+
+	stats map[ID]*Statistic
+	// droppedAt records logical drop times of physically dropped statistics,
+	// feeding the aging policy (§6).
+	droppedAt map[ID]int64
+	clock     int64
+
+	// AgingWindow is the number of logical ticks during which a recently
+	// dropped statistic is considered "aged" and should not be re-created
+	// for cheap queries. Zero disables aging.
+	AgingWindow int64
+
+	// sampling configures sampled statistics construction (see SetSampling).
+	sampling SampleConfig
+
+	// Cumulative accounting, reported by the experiment harness.
+	TotalBuildCost  float64
+	TotalBuildTime  time.Duration
+	TotalUpdateCost float64
+	BuildCount      int
+	UpdateOpCount   int
+}
+
+// NewManager creates a statistics manager over db using the given histogram
+// kind and bucket budget (<=0 means histogram.DefaultBuckets).
+func NewManager(db *storage.Database, kind histogram.Kind, maxBuckets int) *Manager {
+	return &Manager{
+		db:         db,
+		kind:       kind,
+		maxBuckets: maxBuckets,
+		stats:      make(map[ID]*Statistic),
+		droppedAt:  make(map[ID]int64),
+	}
+}
+
+// Database returns the managed database.
+func (m *Manager) Database() *storage.Database { return m.db }
+
+// Tick advances the logical clock (called once per processed statement by
+// policy drivers) and returns the new time.
+func (m *Manager) Tick() int64 {
+	m.clock++
+	return m.clock
+}
+
+// Clock returns the current logical time.
+func (m *Manager) Clock() int64 { return m.clock }
+
+// Get returns the statistic with the given ID, or nil.
+func (m *Manager) Get(id ID) *Statistic { return m.stats[id] }
+
+// Has reports whether the statistic exists (whether or not drop-listed).
+func (m *Manager) Has(id ID) bool { return m.stats[id] != nil }
+
+// All returns all existing statistics in deterministic ID order.
+func (m *Manager) All() []*Statistic {
+	out := make([]*Statistic, 0, len(m.stats))
+	for _, s := range m.stats {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Maintained returns the statistics not in the drop-list — the set whose
+// update cost the system pays (§5, Table 1 metric).
+func (m *Manager) Maintained() []*Statistic {
+	var out []*Statistic
+	for _, s := range m.All() {
+		if !s.InDropList {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DropList returns the drop-listed statistics in deterministic order.
+func (m *Manager) DropList() []*Statistic {
+	var out []*Statistic
+	for _, s := range m.All() {
+		if s.InDropList {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Create builds the statistic on table(cols) and returns it. If it already
+// exists, the existing statistic is returned; a drop-listed statistic is
+// resurrected (removed from the drop-list) without rebuilding, per §5:
+// "instead of re-creating the statistic s, it can simply be removed from the
+// drop-list and made accessible to the optimizer".
+func (m *Manager) Create(table string, cols []string) (*Statistic, error) {
+	id := MakeID(table, cols)
+	if s := m.stats[id]; s != nil {
+		if s.InDropList {
+			s.InDropList = false
+		}
+		return s, nil
+	}
+	s, err := m.build(table, cols)
+	if err != nil {
+		return nil, err
+	}
+	m.stats[id] = s
+	return s, nil
+}
+
+func (m *Manager) build(table string, cols []string) (*Statistic, error) {
+	td, err := m.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := td.MultiColumnValues(cols)
+	if err != nil {
+		return nil, err
+	}
+	id := MakeID(table, cols)
+	start := time.Now()
+	sampled := m.sampleTuples(id, tuples)
+	mc, err := histogram.BuildMulti(m.kind, cols, sampled, m.maxBuckets)
+	if err != nil {
+		return nil, err
+	}
+	if len(sampled) < len(tuples) {
+		scaleSampled(mc, len(sampled), len(tuples))
+	}
+	elapsed := time.Since(start)
+	// Creation cost reflects the rows actually processed — sampling is
+	// exactly how real systems cheapen construction.
+	cost := histogram.BuildCostUnits(int64(len(sampled)), len(cols))
+	m.TotalBuildCost += cost
+	m.TotalBuildTime += elapsed
+	m.BuildCount++
+	m.clock++
+	return &Statistic{
+		ID:        id,
+		Table:     strings.ToLower(table),
+		Columns:   lowerAll(cols),
+		Data:      mc,
+		BuildCost: cost,
+		BuildTime: elapsed,
+		CreatedAt: m.clock,
+		UpdatedAt: m.clock,
+	}, nil
+}
+
+func lowerAll(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = strings.ToLower(c)
+	}
+	return out
+}
+
+// Drop physically removes a statistic and records the drop time for aging.
+func (m *Manager) Drop(id ID) bool {
+	if _, ok := m.stats[id]; !ok {
+		return false
+	}
+	delete(m.stats, id)
+	m.clock++
+	m.droppedAt[id] = m.clock
+	return true
+}
+
+// AddToDropList marks a statistic non-essential. Returns false if unknown.
+func (m *Manager) AddToDropList(id ID) bool {
+	s := m.stats[id]
+	if s == nil {
+		return false
+	}
+	s.InDropList = true
+	return true
+}
+
+// RemoveFromDropList resurrects a drop-listed statistic.
+func (m *Manager) RemoveFromDropList(id ID) bool {
+	s := m.stats[id]
+	if s == nil {
+		return false
+	}
+	s.InDropList = false
+	return true
+}
+
+// PurgeDropList physically drops every drop-listed statistic and returns
+// how many were dropped (a policy action, §6).
+func (m *Manager) PurgeDropList() int {
+	n := 0
+	for _, s := range m.DropList() {
+		if m.Drop(s.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// RecentlyDropped reports whether the statistic was physically dropped
+// within the aging window, in which case re-creation should be dampened for
+// inexpensive queries (§6).
+func (m *Manager) RecentlyDropped(id ID) bool {
+	if m.AgingWindow <= 0 {
+		return false
+	}
+	at, ok := m.droppedAt[id]
+	return ok && m.clock-at < m.AgingWindow
+}
+
+// Refresh rebuilds an existing statistic from current data, charging its
+// update cost. Drop-listed statistics are skipped (they are not maintained).
+func (m *Manager) Refresh(id ID) error {
+	s := m.stats[id]
+	if s == nil {
+		return fmt.Errorf("stats: unknown statistic %s", id)
+	}
+	if s.InDropList {
+		return nil
+	}
+	fresh, err := m.build(s.Table, s.Columns)
+	if err != nil {
+		return err
+	}
+	s.Data = fresh.Data
+	s.BuildTime = fresh.BuildTime
+	s.BuildCost = fresh.BuildCost
+	s.UpdatedAt = m.clock
+	s.UpdateCount++
+	m.TotalUpdateCost += fresh.BuildCost
+	m.UpdateOpCount++
+	return nil
+}
+
+// RefreshTable refreshes every maintained statistic on the table and resets
+// its modification counter. Returns the number refreshed.
+func (m *Manager) RefreshTable(table string) (int, error) {
+	table = strings.ToLower(table)
+	n := 0
+	for _, s := range m.All() {
+		if s.Table != table || s.InDropList {
+			continue
+		}
+		if err := m.Refresh(s.ID); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if td, err := m.db.Table(table); err == nil {
+		td.ResetModCounter()
+	}
+	return n, nil
+}
+
+// MaintenanceCostUnits returns the work units one full refresh cycle of all
+// maintained statistics would charge — the "cost of updating the set of
+// statistics left behind" metric of Table 1.
+func (m *Manager) MaintenanceCostUnits() float64 {
+	var c float64
+	for _, s := range m.Maintained() {
+		td, err := m.db.Table(s.Table)
+		if err != nil {
+			continue
+		}
+		c += histogram.BuildCostUnits(int64(td.RowCount()), len(s.Columns))
+	}
+	return c
+}
+
+// StatsOnTable returns all existing statistics on a table.
+func (m *Manager) StatsOnTable(table string) []*Statistic {
+	table = strings.ToLower(table)
+	var out []*Statistic
+	for _, s := range m.All() {
+		if s.Table == table {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StatsForColumn returns all statistics whose leading (histogram-bearing)
+// column is table.column — the statistics usable to estimate a predicate on
+// that column. Single-column statistics sort first so the estimator prefers
+// the most precise structure.
+func (m *Manager) StatsForColumn(table, column string) []*Statistic {
+	table, column = strings.ToLower(table), strings.ToLower(column)
+	var out []*Statistic
+	for _, s := range m.All() {
+		if s.Table == table && s.LeadingColumn() == column {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Columns) != len(out[j].Columns) {
+			return len(out[i].Columns) < len(out[j].Columns)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ResetAccounting zeroes the cumulative cost counters (between experiment
+// phases).
+func (m *Manager) ResetAccounting() {
+	m.TotalBuildCost = 0
+	m.TotalBuildTime = 0
+	m.TotalUpdateCost = 0
+	m.BuildCount = 0
+	m.UpdateOpCount = 0
+}
+
+// DropAll removes every statistic without recording aging drops (used to
+// reset experiments).
+func (m *Manager) DropAll() {
+	m.stats = make(map[ID]*Statistic)
+	m.droppedAt = make(map[ID]int64)
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+	"autostats/internal/storage"
+)
+
+func testDB(t *testing.T) *storage.Database {
+	t.Helper()
+	schema := catalog.NewSchema()
+	if err := schema.AddTable(catalog.NewTable("t",
+		catalog.Column{Name: "a", Type: catalog.Int},
+		catalog.Column{Name: "b", Type: catalog.Int},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.NewDatabase("db", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := db.MustTable("t")
+	for i := 0; i < 100; i++ {
+		if err := td.Insert(storage.Row{catalog.NewInt(int64(i % 10)), catalog.NewInt(int64(i % 4))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	td.ResetModCounter()
+	return db
+}
+
+func TestMakeID(t *testing.T) {
+	if got := MakeID("Orders", []string{"O_Custkey", "o_orderdate"}); got != "orders(o_custkey,o_orderdate)" {
+		t.Errorf("MakeID = %q", got)
+	}
+	// Order matters: multi-column statistics are asymmetric.
+	if MakeID("t", []string{"a", "b"}) == MakeID("t", []string{"b", "a"}) {
+		t.Error("column order must be part of the ID")
+	}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	st, err := m.Create("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Data.Leading.Distinct != 10 {
+		t.Errorf("distinct = %d", st.Data.Leading.Distinct)
+	}
+	if !m.Has(st.ID) || m.Get(st.ID) != st {
+		t.Error("lookup after create failed")
+	}
+	if m.BuildCount != 1 || m.TotalBuildCost <= 0 {
+		t.Errorf("accounting: count=%d cost=%v", m.BuildCount, m.TotalBuildCost)
+	}
+	// Idempotent create returns existing without a rebuild.
+	again, err := m.Create("t", []string{"a"})
+	if err != nil || again != st {
+		t.Errorf("re-create returned %v, %v", again, err)
+	}
+	if m.BuildCount != 1 {
+		t.Errorf("re-create rebuilt: count=%d", m.BuildCount)
+	}
+	if !m.Drop(st.ID) {
+		t.Error("drop failed")
+	}
+	if m.Has(st.ID) || m.Drop(st.ID) {
+		t.Error("statistic survived drop")
+	}
+}
+
+func TestDropListLifecycle(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	st, _ := m.Create("t", []string{"a"})
+	if !m.AddToDropList(st.ID) {
+		t.Fatal("AddToDropList failed")
+	}
+	if len(m.Maintained()) != 0 || len(m.DropList()) != 1 {
+		t.Error("drop-list membership wrong")
+	}
+	// §5: a drop-listed statistic is resurrected by Create without rebuild.
+	buildCount := m.BuildCount
+	re, err := m.Create("t", []string{"a"})
+	if err != nil || re.InDropList {
+		t.Errorf("resurrect: %v, inDropList=%v", err, re.InDropList)
+	}
+	if m.BuildCount != buildCount {
+		t.Error("resurrection must not rebuild")
+	}
+	// Purge physically drops drop-listed statistics only.
+	m.AddToDropList(st.ID)
+	if n := m.PurgeDropList(); n != 1 {
+		t.Errorf("PurgeDropList = %d", n)
+	}
+	if m.Has(st.ID) {
+		t.Error("purged statistic still exists")
+	}
+	if m.AddToDropList(ID("t(zzz)")) {
+		t.Error("AddToDropList on unknown should fail")
+	}
+}
+
+func TestAging(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	m.AgingWindow = 10
+	st, _ := m.Create("t", []string{"a"})
+	m.Drop(st.ID)
+	if !m.RecentlyDropped(st.ID) {
+		t.Error("freshly dropped statistic should be aged")
+	}
+	for i := 0; i < 11; i++ {
+		m.Tick()
+	}
+	if m.RecentlyDropped(st.ID) {
+		t.Error("aging window should have expired")
+	}
+	m.AgingWindow = 0
+	m.Drop(st.ID)
+	if m.RecentlyDropped(st.ID) {
+		t.Error("aging disabled should never report recently dropped")
+	}
+}
+
+func TestRefreshAccountingAndDropListSkip(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	a, _ := m.Create("t", []string{"a"})
+	b, _ := m.Create("t", []string{"b"})
+	m.AddToDropList(b.ID)
+	m.ResetAccounting()
+	n, err := m.RefreshTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("refreshed %d stats, want 1 (drop-listed skipped)", n)
+	}
+	if a.UpdateCount != 1 || b.UpdateCount != 0 {
+		t.Errorf("update counts: a=%d b=%d", a.UpdateCount, b.UpdateCount)
+	}
+	if m.TotalUpdateCost <= 0 {
+		t.Error("update cost not charged")
+	}
+	if err := m.Refresh(ID("t(zzz)")); err == nil {
+		t.Error("refresh of unknown statistic should error")
+	}
+}
+
+func TestStatsForColumnOrdering(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	_, _ = m.Create("t", []string{"a", "b"})
+	_, _ = m.Create("t", []string{"a"})
+	got := m.StatsForColumn("T", "A")
+	if len(got) != 2 {
+		t.Fatalf("StatsForColumn found %d", len(got))
+	}
+	if !got[0].IsSingleColumn() {
+		t.Error("single-column statistic must sort first (most precise)")
+	}
+	// Leading column must match: stat (a,b) does not serve column b.
+	if n := len(m.StatsForColumn("t", "b")); n != 0 {
+		t.Errorf("StatsForColumn(b) = %d, want 0", n)
+	}
+}
+
+func TestMaintenancePolicy(t *testing.T) {
+	db := testDB(t)
+	m := NewManager(db, histogram.MaxDiff, 0)
+	a, _ := m.Create("t", []string{"a"})
+	p := MaintenancePolicy{UpdateFraction: 0.2, MaxUpdates: 1, DropListOnly: true}
+
+	// Below threshold: nothing happens.
+	rep, err := m.RunMaintenance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TablesRefreshed != 0 {
+		t.Errorf("unexpected refresh: %+v", rep)
+	}
+
+	// Cross the modification threshold.
+	td := db.MustTable("t")
+	for i := 0; i < 40; i++ {
+		_ = td.Insert(storage.Row{catalog.NewInt(1), catalog.NewInt(1)})
+	}
+	rep, err = m.RunMaintenance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TablesRefreshed != 1 || rep.StatsRefreshed != 1 {
+		t.Errorf("refresh pass: %+v", rep)
+	}
+	if td.ModCounter() != 0 {
+		t.Error("mod counter should reset after refresh")
+	}
+
+	// Over-updated but NOT drop-listed: protected by DropListOnly.
+	a.UpdateCount = 5
+	rep, _ = m.RunMaintenance(p)
+	if rep.StatsDropped != 0 {
+		t.Error("DropListOnly policy dropped a maintained statistic")
+	}
+	m.AddToDropList(a.ID)
+	rep, _ = m.RunMaintenance(p)
+	if rep.StatsDropped != 1 {
+		t.Errorf("expected drop of over-updated drop-listed statistic: %+v", rep)
+	}
+
+	// Without DropListOnly (stock SQL Server 7.0), any over-updated
+	// statistic is dropped.
+	b, _ := m.Create("t", []string{"b"})
+	b.UpdateCount = 5
+	rep, _ = m.RunMaintenance(MaintenancePolicy{UpdateFraction: 0.2, MaxUpdates: 1})
+	if rep.StatsDropped != 1 {
+		t.Errorf("stock policy should drop over-updated statistic: %+v", rep)
+	}
+}
+
+func TestMaintenanceCostUnits(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	_, _ = m.Create("t", []string{"a"})
+	c1 := m.MaintenanceCostUnits()
+	if c1 <= 0 {
+		t.Fatal("maintenance cost should be positive")
+	}
+	st2, _ := m.Create("t", []string{"a", "b"})
+	c2 := m.MaintenanceCostUnits()
+	if c2 <= c1 {
+		t.Error("more maintained statistics must cost more")
+	}
+	m.AddToDropList(st2.ID)
+	if got := m.MaintenanceCostUnits(); got != c1 {
+		t.Errorf("drop-listed statistic still charged: %v vs %v", got, c1)
+	}
+}
+
+func TestDropAllAndAll(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	_, _ = m.Create("t", []string{"a"})
+	_, _ = m.Create("t", []string{"b"})
+	all := m.All()
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Errorf("All() not sorted: %v", all)
+	}
+	if got := len(m.StatsOnTable("t")); got != 2 {
+		t.Errorf("StatsOnTable = %d", got)
+	}
+	m.DropAll()
+	if len(m.All()) != 0 {
+		t.Error("DropAll left statistics behind")
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"autostats/internal/datagen"
+	"autostats/internal/sqlparser"
+)
+
+// TestRoundTripTPCDOrig: every TPCD-ORIG query re-renders and re-parses to
+// identical SQL (fixed point after one round).
+func TestRoundTripTPCDOrig(t *testing.T) {
+	s := datagen.Schema()
+	w, err := TPCDOrig(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Statements) != 17 {
+		t.Fatalf("TPCD-ORIG has %d statements", len(w.Statements))
+	}
+	for i, stmt := range w.Statements {
+		once := stmt.SQL()
+		re, err := sqlparser.Parse(s, once)
+		if err != nil {
+			t.Fatalf("Q%d re-parse: %v", i+1, err)
+		}
+		if re.SQL() != once {
+			t.Errorf("Q%d round trip:\n%s\n%s", i+1, once, re.SQL())
+		}
+	}
+}
+
+// TestRoundTripGeneratedWorkload: generated workloads (including DML)
+// survive the print→parse→print round trip.
+func TestRoundTripGeneratedWorkload(t *testing.T) {
+	db, err := datagen.Generate(datagen.Config{Scale: 0.2, Z: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Generate(db, Config{Count: 120, UpdatePct: 30, Complexity: Complex, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, stmt := range w.Statements {
+		once := stmt.SQL()
+		re, err := sqlparser.Parse(db.Schema, once)
+		if err != nil {
+			t.Fatalf("stmt %d (%q) re-parse: %v", i, once, err)
+		}
+		if re.SQL() != once {
+			t.Errorf("stmt %d round trip:\n%s\n%s", i, once, re.SQL())
+		}
+	}
+}

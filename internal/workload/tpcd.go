@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+
+	"autostats/internal/catalog"
+	"autostats/internal/sqlparser"
+)
+
+// tpcdOrigSQL holds the 17-query TPCD-ORIG workload (§8.1). The queries are
+// the TPC-D benchmark queries Q1–Q17 restated in the system's normalized
+// SPJ + GROUP BY subset: multi-block constructs (correlated subqueries,
+// HAVING, arithmetic in projections) are flattened to the statistics-relevant
+// core — the joins, selections and groupings whose selectivities drive plan
+// choice. Dates are day numbers; the generated domain spans DATE 8035
+// (1992-01-01) to DATE 10590 (1998-12-31).
+var tpcdOrigSQL = []string{
+	// Q1 pricing summary report
+	"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE 10500 GROUP BY l_returnflag, l_linestatus",
+	// Q2 minimum cost supplier
+	"SELECT * FROM part, partsupp, supplier, nation, region WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'EUROPE' AND p_size = 15",
+	// Q3 shipping priority
+	"SELECT l_orderkey FROM customer, orders, lineitem WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND c_mktsegment = 'BUILDING' AND o_orderdate < DATE 8840 AND l_shipdate > DATE 8840 GROUP BY l_orderkey",
+	// Q4 order priority checking
+	"SELECT o_orderpriority, COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_orderdate >= DATE 8400 AND o_orderdate < DATE 8490 AND l_receiptdate > DATE 8490 GROUP BY o_orderpriority",
+	// Q5 local supplier volume
+	"SELECT n_name, SUM(l_extendedprice) FROM customer, orders, lineitem, supplier, nation, region WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey AND c_nationkey = n_nationkey AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'ASIA' AND o_orderdate >= DATE 8401 AND o_orderdate < DATE 8766 GROUP BY n_name",
+	// Q6 forecasting revenue change
+	"SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate >= DATE 8401 AND l_shipdate < DATE 8766 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+	// Q7 volume shipping
+	"SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, orders, customer, nation WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey AND s_nationkey = n_nationkey AND l_shipdate BETWEEN DATE 9132 AND DATE 9862 GROUP BY n_name",
+	// Q8 national market share
+	"SELECT o_orderdate FROM part, supplier, lineitem, orders, customer, nation, region WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey AND o_custkey = c_custkey AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'AMERICA' AND o_orderdate BETWEEN DATE 9132 AND DATE 9862 AND p_type = 'ECONOMY ANODIZED STEEL' GROUP BY o_orderdate",
+	// Q9 product type profit measure
+	"SELECT n_name, SUM(ps_supplycost) FROM part, supplier, lineitem, partsupp, orders, nation WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey AND p_size > 40 GROUP BY n_name",
+	// Q10 returned item reporting
+	"SELECT c_custkey, SUM(l_extendedprice) FROM customer, orders, lineitem, nation WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND c_nationkey = n_nationkey AND o_orderdate >= DATE 8675 AND o_orderdate < DATE 8766 AND l_returnflag = 'R' GROUP BY c_custkey",
+	// Q11 important stock identification
+	"SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp, supplier, nation WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY' GROUP BY ps_partkey",
+	// Q12 shipping modes and order priority
+	"SELECT l_shipmode, COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND l_shipmode = 'MAIL' AND l_receiptdate >= DATE 8401 AND l_receiptdate < DATE 8766 GROUP BY l_shipmode",
+	// Q13 customer order priority distribution
+	"SELECT o_orderpriority, COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 300000 GROUP BY o_orderpriority",
+	// Q14 promotion effect
+	"SELECT SUM(l_extendedprice) FROM lineitem, part WHERE l_partkey = p_partkey AND l_shipdate >= DATE 9001 AND l_shipdate < DATE 9032",
+	// Q15 top supplier
+	"SELECT s_suppkey, SUM(l_extendedprice) FROM supplier, lineitem WHERE s_suppkey = l_suppkey AND l_shipdate >= DATE 9001 AND l_shipdate < DATE 9093 GROUP BY s_suppkey",
+	// Q16 parts/supplier relationship
+	"SELECT p_brand, p_type, COUNT(*) FROM partsupp, part WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45' AND p_size > 20 GROUP BY p_brand, p_type",
+	// Q17 small-quantity-order revenue
+	"SELECT AVG(l_extendedprice) FROM lineitem, part WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' AND p_container = 'MED BOX' AND l_quantity < 5",
+}
+
+// TPCDOrig returns the 17-query TPCD-ORIG workload parsed against the
+// schema.
+func TPCDOrig(schema *catalog.Schema) (*Workload, error) {
+	w := &Workload{Name: "TPCD-ORIG"}
+	for i, sql := range tpcdOrigSQL {
+		stmt, err := sqlparser.Parse(schema, sql)
+		if err != nil {
+			return nil, fmt.Errorf("workload: TPCD-ORIG Q%d: %w", i+1, err)
+		}
+		w.Statements = append(w.Statements, stmt)
+	}
+	return w, nil
+}

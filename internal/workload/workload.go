@@ -1,0 +1,93 @@
+// Package workload models SQL workloads: the Rags-like stochastic generator
+// the paper uses for its §8 experiments ([15], with the paper's knobs:
+// update percentage, query complexity, statement count), the TPCD-ORIG
+// 17-query workload, and (de)serialization so workloads can be saved and
+// replayed by the CLI tools.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"autostats/internal/catalog"
+	"autostats/internal/query"
+	"autostats/internal/sqlparser"
+)
+
+// Workload is an ordered list of statements.
+type Workload struct {
+	Name       string
+	Statements []query.Statement
+}
+
+// Queries returns only the SELECT statements, in order.
+func (w *Workload) Queries() []*query.Select {
+	var out []*query.Select
+	for _, s := range w.Statements {
+		if q, ok := s.(*query.Select); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// UpdateStatements returns only the DML statements, in order.
+func (w *Workload) UpdateStatements() []query.Statement {
+	var out []query.Statement
+	for _, s := range w.Statements {
+		if !s.IsQuery() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Save writes the workload as one SQL statement per line, with a header
+// comment carrying the name.
+func (w *Workload) Save(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if w.Name != "" {
+		if _, err := fmt.Fprintf(bw, "-- workload: %s\n", w.Name); err != nil {
+			return err
+		}
+	}
+	for _, s := range w.Statements {
+		if _, err := fmt.Fprintln(bw, s.SQL()+";"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a workload saved by Save (or hand-written SQL, one statement
+// per line; lines starting with "--" are comments).
+func Load(schema *catalog.Schema, in io.Reader) (*Workload, error) {
+	w := &Workload{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "--") {
+			if rest, ok := strings.CutPrefix(line, "-- workload:"); ok {
+				w.Name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		stmt, err := sqlparser.Parse(schema, strings.TrimSuffix(line, ";"))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		w.Statements = append(w.Statements, stmt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

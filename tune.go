@@ -1,0 +1,245 @@
+package autostats
+
+import (
+	"fmt"
+
+	"autostats/internal/core"
+	"autostats/internal/query"
+	"autostats/internal/sqlparser"
+	"autostats/internal/stats"
+	"autostats/internal/workload"
+)
+
+// TuneOptions configures statistics selection.
+type TuneOptions struct {
+	// ThresholdPct is the t of t-optimizer-cost equivalence, in percent
+	// (default 20, the paper's conservative choice).
+	ThresholdPct float64
+	// Epsilon pins the extreme selectivities of MNSA (default 0.0005).
+	Epsilon float64
+	// SingleColumnOnly restricts candidates to single-column statistics.
+	SingleColumnOnly bool
+	// Exhaustive uses the exhaustive candidate space (baseline; expensive).
+	Exhaustive bool
+	// Drop enables MNSA/D: detect non-essential statistics during creation
+	// and place them on the drop-list.
+	Drop bool
+	// Shrink runs the Shrinking Set algorithm after MNSA, drop-listing
+	// everything outside the resulting essential set (the offline policy of
+	// §6).
+	Shrink bool
+	// SmallTableRows creates candidates on tables at or below this size
+	// without sensitivity analysis (§4.3's threshold augmentation).
+	SmallTableRows int
+	// UseAging dampens re-creation of recently dropped statistics (§6).
+	UseAging bool
+}
+
+func (o TuneOptions) config() core.Config {
+	cfg := core.DefaultConfig()
+	if o.ThresholdPct > 0 {
+		cfg.T = o.ThresholdPct
+	}
+	if o.Epsilon > 0 {
+		cfg.Epsilon = o.Epsilon
+	}
+	switch {
+	case o.Exhaustive:
+		cfg.CandidateFn = core.ExhaustiveStats
+	case o.SingleColumnOnly:
+		cfg.CandidateFn = core.SingleColumnCandidates
+	}
+	cfg.Drop = o.Drop
+	cfg.MinTableRows = o.SmallTableRows
+	cfg.UseAging = o.UseAging
+	return cfg
+}
+
+// TuneReport summarizes a tuning run.
+type TuneReport struct {
+	// Created lists statistics built, in creation order.
+	Created []string
+	// DropListed lists statistics identified as non-essential.
+	DropListed []string
+	// Essential lists the essential set when Shrink ran (nil otherwise).
+	Essential []string
+	// OptimizerCalls counts optimizations performed by the algorithms.
+	OptimizerCalls int
+	// CreationCostUnits is the statistics build cost in work units.
+	CreationCostUnits float64
+}
+
+// TuneQuery runs MNSA (or MNSA/D when opts.Drop) for one SELECT statement,
+// creating the statistics it needs.
+func (s *System) TuneQuery(sql string, opts TuneOptions) (*TuneReport, error) {
+	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mgr.ResetAccounting()
+	res, err := core.RunMNSA(s.sess, q, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	return &TuneReport{
+		Created:           idsToStrings(res.Created),
+		DropListed:        idsToStrings(res.DropListed),
+		OptimizerCalls:    res.OptimizerCalls,
+		CreationCostUnits: s.mgr.TotalBuildCost,
+	}, nil
+}
+
+// TuneWorkload runs MNSA over every SELECT in the workload, then optionally
+// the Shrinking Set algorithm (opts.Shrink) — the offline policy of §6.
+// Non-SELECT statements are ignored for selection purposes.
+func (s *System) TuneWorkload(sqls []string, opts TuneOptions) (*TuneReport, error) {
+	queries, err := s.parseQueries(sqls)
+	if err != nil {
+		return nil, err
+	}
+	return s.tuneQueries(queries, opts)
+}
+
+func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneReport, error) {
+	s.mgr.ResetAccounting()
+	cfg := opts.config()
+	rep := &TuneReport{}
+	if opts.Shrink {
+		tr, err := core.OfflineTune(s.sess, queries, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep.Created = idsToStrings(tr.MNSA.Created)
+		rep.DropListed = idsToStrings(tr.DropListed)
+		rep.Essential = idsToStrings(tr.Shrink.Kept)
+		rep.OptimizerCalls = tr.MNSA.OptimizerCalls + tr.Shrink.OptimizerCalls
+	} else {
+		wr, err := core.RunMNSAWorkload(s.sess, queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Created = idsToStrings(wr.Created)
+		rep.DropListed = idsToStrings(wr.DropListed)
+		rep.OptimizerCalls = wr.OptimizerCalls
+	}
+	rep.CreationCostUnits = s.mgr.TotalBuildCost
+	return rep, nil
+}
+
+func (s *System) parseQueries(sqls []string) ([]*query.Select, error) {
+	var queries []*query.Select
+	for i, sql := range sqls {
+		stmt, err := sqlparser.Parse(s.db.Schema, sql)
+		if err != nil {
+			return nil, fmt.Errorf("autostats: statement %d: %w", i+1, err)
+		}
+		if q, ok := stmt.(*query.Select); ok {
+			queries = append(queries, q)
+		}
+	}
+	return queries, nil
+}
+
+func idsToStrings(ids []stats.ID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// ProcessStatement handles one incoming statement under the on-the-fly
+// policy (§6): SELECTs pass through MNSA first, DML executes and
+// periodically triggers the maintenance policy.
+func (s *System) ProcessStatement(sql string) (*QueryResult, error) {
+	stmt, err := sqlparser.Parse(s.db.Schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.auto.ProcessStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{ExecCost: res.Cost, Affected: res.Affected}
+	if res.Rows != nil {
+		cols := make([]string, len(res.Cols))
+		for name, pos := range res.Cols {
+			if pos >= 0 && pos < len(cols) {
+				cols[pos] = name
+			}
+		}
+		out.Columns = cols
+		for _, r := range res.Rows {
+			row := make([]string, len(r))
+			for j, d := range r {
+				row[j] = d.String()
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// WorkloadOptions configures the Rags-like generator via the paper's knobs.
+type WorkloadOptions struct {
+	// Count is the number of statements (default 100).
+	Count int
+	// UpdatePct is the percentage of insert/update/delete statements.
+	UpdatePct int
+	// Complex allows up to 8 tables per query (default Simple: 2).
+	Complex bool
+	// Seed defaults to 1.
+	Seed int64
+}
+
+// GenerateWorkload produces a workload's SQL statements over this system's
+// database, sampling predicate constants from the live data.
+func (s *System) GenerateWorkload(opts WorkloadOptions) ([]string, error) {
+	if opts.Count == 0 {
+		opts.Count = 100
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cfg := workload.Config{
+		Count:     opts.Count,
+		UpdatePct: opts.UpdatePct,
+		Seed:      opts.Seed,
+	}
+	if opts.Complex {
+		cfg.Complexity = workload.Complex
+	}
+	w, err := workload.Generate(s.db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(w.Statements))
+	for i, stmt := range w.Statements {
+		out[i] = stmt.SQL()
+	}
+	return out, nil
+}
+
+// TPCDOrigWorkload returns the 17-query TPCD-ORIG workload's SQL.
+func (s *System) TPCDOrigWorkload() ([]string, error) {
+	w, err := workload.TPCDOrig(s.db.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(w.Statements))
+	for i, stmt := range w.Statements {
+		out[i] = stmt.SQL()
+	}
+	return out, nil
+}
+
+// RunMaintenance applies the SQL Server 7.0-style maintenance policy once:
+// refresh statistics on heavily modified tables, drop over-updated
+// drop-listed statistics. Returns (tables refreshed, statistics dropped).
+func (s *System) RunMaintenance() (int, int, error) {
+	rep, err := s.mgr.RunMaintenance(stats.DefaultMaintenancePolicy())
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.TablesRefreshed, rep.StatsDropped, nil
+}
