@@ -43,14 +43,22 @@ import (
 )
 
 // System is a database with its statistics manager, optimizer and executor —
-// the unit everything else operates on. It is not safe for concurrent use.
+// the unit everything else operates on. Its methods are not safe for
+// concurrent use from multiple goroutines; parallelism happens INSIDE
+// TuneWorkload (TuneOptions.Parallelism), which fans out to per-worker
+// optimizer sessions over the concurrency-safe statistics manager and shared
+// plan cache.
 type System struct {
-	db   *storage.Database
-	mgr  *stats.Manager
-	sess *optimizer.Session
-	ex   *executor.Executor
-	auto *core.AutoManager
+	db    *storage.Database
+	mgr   *stats.Manager
+	sess  *optimizer.Session
+	ex    *executor.Executor
+	auto  *core.AutoManager
+	cache *optimizer.PlanCache
 }
+
+// DefaultPlanCacheCapacity is the plan cache size a new System starts with.
+const DefaultPlanCacheCapacity = 1024
 
 // TPCDOptions configures the skewed TPC-D generator ([17] in the paper).
 type TPCDOptions struct {
@@ -94,8 +102,23 @@ func GenerateTPCD(opts TPCDOptions) (*System, error) {
 func newSystem(db *storage.Database, kind histogram.Kind, buckets int) *System {
 	mgr := stats.NewManager(db, kind, buckets)
 	sess := optimizer.NewSession(mgr)
+	cache := optimizer.NewPlanCache(DefaultPlanCacheCapacity)
+	sess.SetPlanCache(cache)
 	ex := executor.New(db)
-	return &System{db: db, mgr: mgr, sess: sess, ex: ex, auto: core.NewAutoManager(sess, ex)}
+	return &System{db: db, mgr: mgr, sess: sess, ex: ex, auto: core.NewAutoManager(sess, ex), cache: cache}
+}
+
+// SetPlanCacheCapacity replaces the plan cache with one holding up to n
+// plans; n <= 0 disables plan caching. Existing cached plans are discarded.
+func (s *System) SetPlanCacheCapacity(n int) {
+	s.cache = optimizer.NewPlanCache(n)
+	s.sess.SetPlanCache(s.cache)
+}
+
+// PlanCacheStats reports plan cache effectiveness counters (all zero when
+// caching is disabled).
+func (s *System) PlanCacheStats() optimizer.PlanCacheStats {
+	return s.cache.Stats()
 }
 
 // Schema returns the underlying schema (read-only use intended).

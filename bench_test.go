@@ -175,6 +175,73 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadTuning compares serial and parallel MNSA workload tuning
+// wall-clock on identical fresh systems (tentpole: the parallel driver
+// should beat serial on multi-core machines while producing the same
+// statistics set — the set check lives in internal/core's tests).
+func BenchmarkWorkloadTuning(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "parallel4"}[p]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := GenerateTPCD(TPCDOptions{Scale: benchScale, Skew: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sqls, err := sys.GenerateWorkload(WorkloadOptions{Count: 40})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep, err := sys.TuneWorkload(sqls, TuneOptions{Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(rep.Created)), "stats-created")
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeCached measures repeated optimization of a workload with
+// and without the plan cache; steady-state re-optimization of a repeating
+// workload should be dominated by cache hits.
+func BenchmarkOptimizeCached(b *testing.B) {
+	setup := func(b *testing.B, cacheCap int) (*System, []string) {
+		sys, err := GenerateTPCD(TPCDOptions{Scale: benchScale, Skew: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.CreateIndexedColumnStats(); err != nil {
+			b.Fatal(err)
+		}
+		sys.SetPlanCacheCapacity(cacheCap)
+		sqls, err := sys.GenerateWorkload(WorkloadOptions{Count: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, sqls
+	}
+	run := func(b *testing.B, cacheCap int) {
+		sys, sqls := setup(b, cacheCap)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sql := range sqls {
+				if _, err := sys.Explain(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		if st := sys.PlanCacheStats(); st.Hits+st.Misses > 0 {
+			b.ReportMetric(100*st.HitRate(), "hit-rate-%")
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, 0) })
+	b.Run("cached", func(b *testing.B) { run(b, DefaultPlanCacheCapacity) })
+}
+
 // BenchmarkStatisticsBuild measures histogram construction cost on the
 // largest table.
 func BenchmarkStatisticsBuild(b *testing.B) {

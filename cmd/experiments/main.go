@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"autostats/internal/bench"
 	"autostats/internal/core"
@@ -24,7 +25,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		parallel = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 		scale    = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		wl       = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
@@ -50,6 +52,7 @@ func main() {
 	run("fig4", func() error { return runFig4(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed, false) })
 	run("fig4sc", func() error { return runFig4(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed, true) })
 	run("table1", func() error { return runTable1(dbList, orDefault(*wl, "U25-C-100"), *scale, *seed) })
+	run("parallel", func() error { return runParallel(dbList, orDefault(*wl, "U0-C-100"), *scale, *seed, *parallel) })
 	run("ablation-t", func() error { return runAblationT(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-eps", func() error { return runAblationEps(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-next", func() error { return runAblationNext(orDefault(*wl, "U0-C-60"), *scale, *seed) })
@@ -136,6 +139,24 @@ func runTable1(dbs []string, wl string, scale float64, seed int64) error {
 		fmt.Printf("%-10s %6d %6d %6d %11.1f%% %11.1f%% %9.1f%% %10s\n",
 			row.DB, row.MNSACount, row.DropListed, row.MNSADCount-row.DropListed,
 			row.UpdateReductionPct, row.ReplayReductionPct, row.ExecIncreasePct, "-")
+	}
+	return nil
+}
+
+func runParallel(dbs []string, wl string, scale float64, seed int64, parallelism int) error {
+	header(fmt.Sprintf("Parallel tuning — serial vs %s-worker MNSA workload driver — workload %s, scale %.2f",
+		map[bool]string{true: "GOMAXPROCS", false: fmt.Sprint(parallelism)}[parallelism <= 0], wl, scale))
+	fmt.Printf("%-10s %4s %8s %12s %12s %9s %7s %6s %9s %12s\n",
+		"db", "p", "queries", "serial wall", "par wall", "speedup", "ser#", "par#", "overlap%", "cache h/m")
+	for _, db := range dbs {
+		row, err := bench.Parallel(db, wl, scale, seed, parallelism)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %4d %8d %12v %12v %8.2fx %7d %6d %8.1f%% %6d/%d\n",
+			row.DB, row.Parallelism, row.Queries, row.SerialWall.Round(time.Millisecond),
+			row.ParWall.Round(time.Millisecond), row.SpeedupX, row.SerialStats, row.ParStats,
+			row.OverlapPct, row.CacheHits, row.CacheMiss)
 	}
 	return nil
 }

@@ -41,6 +41,8 @@ func main() {
 		tPct     = flag.Float64("t", 20, "t-optimizer-cost equivalence threshold (percent)")
 		eps      = flag.Float64("eps", 0.0005, "epsilon for the sensitivity extremes")
 		single   = flag.Bool("single-column", false, "consider only single-column candidate statistics")
+		parallel = flag.Int("parallel", 1, "worker sessions for mnsa/mnsad/offline tuning (<=1 = serial)")
+		cacheCap = flag.Int("plan-cache", 1024, "plan cache capacity (0 disables)")
 		verbose  = flag.Bool("verbose", false, "per-query detail")
 		saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
 		loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
@@ -73,6 +75,8 @@ func main() {
 		fmt.Printf("loaded %d statistics from %s\n", len(mgr.All()), *loadFrom)
 	}
 	sess := optimizer.NewSession(mgr)
+	cache := optimizer.NewPlanCache(*cacheCap)
+	sess.SetPlanCache(cache)
 	cfg := core.DefaultConfig()
 	cfg.T = *tPct
 	cfg.Epsilon = *eps
@@ -101,7 +105,7 @@ func main() {
 					i+1, len(r.Created), len(r.DropListed), r.OptimizerCalls, r.TerminatedBy)
 			}
 		} else {
-			wr, err := core.RunMNSAWorkload(sess, queries, cfg)
+			wr, err := core.RunMNSAWorkloadParallel(sess, queries, cfg, *parallel)
 			if err != nil {
 				fatal(err)
 			}
@@ -109,7 +113,7 @@ func main() {
 				map[bool]string{true: "/D", false: ""}[cfg.Drop], len(wr.Created), wr.OptimizerCalls)
 		}
 	case "offline":
-		rep, err := core.OfflineTune(sess, queries, cfg, nil)
+		rep, err := core.OfflineTuneParallel(sess, queries, cfg, nil, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,8 +123,9 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	acct := mgr.Snapshot()
 	fmt.Printf("\nrecommended statistics (%d, build cost %.0f units, %v):\n",
-		len(mgr.Maintained()), mgr.TotalBuildCost, mgr.TotalBuildTime.Round(1000))
+		len(mgr.Maintained()), acct.TotalBuildCost, acct.TotalBuildTime.Round(1000))
 	for _, s := range mgr.Maintained() {
 		fmt.Printf("  CREATE STATISTICS %s  -- %d rows, %d distinct\n", s.ID, s.Data.Rows, s.Data.Leading.Distinct)
 	}
@@ -131,6 +136,10 @@ func main() {
 		}
 	}
 	fmt.Printf("maintenance cost per refresh cycle: %.0f units\n", mgr.MaintenanceCostUnits())
+	if cs := cache.Stats(); cs.Hits+cs.Misses > 0 {
+		fmt.Printf("plan cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, %d cached\n",
+			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Size)
+	}
 
 	// Execute the workload under the recommendation and report cost.
 	ex := executor.New(db)

@@ -18,7 +18,9 @@ func planWithVisible(sess *optimizer.Session, q *query.Select, visible map[stats
 			ignore = append(ignore, st.ID)
 		}
 	}
-	sess.IgnoreStatisticsSubset(mgr.Database().Name, ignore)
+	if err := sess.IgnoreStatisticsSubset(mgr.Database().Name, ignore); err != nil {
+		return nil, err
+	}
 	defer sess.ClearIgnored()
 	return sess.Optimize(q)
 }

@@ -160,11 +160,12 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 		dbName := mgr.Database().Name
 		defer sess.ClearIgnored()
 		for _, id := range final.UsedStats {
-			st := mgr.Get(id)
-			if st == nil || !st.InDropList {
+			if !mgr.IsDropListed(id) {
 				continue
 			}
-			sess.IgnoreStatisticsSubset(dbName, []stats.ID{id})
+			if err := sess.IgnoreStatisticsSubset(dbName, []stats.ID{id}); err != nil {
+				return nil, err
+			}
 			probe, err := sess.Optimize(q)
 			if err != nil {
 				return nil, err
@@ -222,25 +223,31 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 		if nextFn == nil {
 			nextFn = findNextStatToBuild
 		}
-		unit := nextFn(p, cands, mgr, consumed, missing)
-		if len(unit) == 0 {
-			res.TerminatedBy = TermNoCandidates
-			return finish(p)
-		}
 		// Step 10: build the unit (a single statistic, or a dependent pair
-		// for join columns).
+		// for join columns). When aging suppresses the entire unit nothing
+		// changed — the plan, the missing variables and the extremes are all
+		// as before — so re-optimizing would waste a call and re-testing the
+		// extremes would loop forever on the same answer; instead keep
+		// picking until something is actually built or candidates run out.
 		var builtIDs []stats.ID
-		for _, c := range unit {
-			consumed[c.ID()] = true
-			if cfg.UseAging && mgr.RecentlyDropped(c.ID()) && p.Cost() <= cfg.AgingCostThreshold {
-				res.AgeSkipped = append(res.AgeSkipped, c.ID())
-				continue
+		for len(builtIDs) == 0 {
+			unit := nextFn(p, cands, mgr, consumed, missing)
+			if len(unit) == 0 {
+				res.TerminatedBy = TermNoCandidates
+				return finish(p)
 			}
-			if _, err := mgr.Create(c.Table, c.Columns); err != nil {
-				return nil, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+			for _, c := range unit {
+				consumed[c.ID()] = true
+				if cfg.UseAging && mgr.RecentlyDropped(c.ID()) && p.Cost() <= cfg.AgingCostThreshold {
+					res.AgeSkipped = append(res.AgeSkipped, c.ID())
+					continue
+				}
+				if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+					return nil, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+				}
+				res.Created = append(res.Created, c.ID())
+				builtIDs = append(builtIDs, c.ID())
 			}
-			res.Created = append(res.Created, c.ID())
-			builtIDs = append(builtIDs, c.ID())
 		}
 		// Steps 11-12: re-optimize with default magic numbers.
 		pNew, err := sess.Optimize(q)
@@ -281,6 +288,12 @@ type WorkloadResult struct {
 // query in the workload"). Statistics accumulate in the session's manager.
 func RunMNSAWorkload(sess *optimizer.Session, queries []*query.Select, cfg Config) (*WorkloadResult, error) {
 	wr := &WorkloadResult{}
+	// Snapshot the drop-list at entry: the report must cover what THIS run
+	// drop-listed, not entries inherited from earlier tuning passes.
+	pre := map[stats.ID]bool{}
+	for _, id := range sess.Manager().DropListIDs() {
+		pre[id] = true
+	}
 	seen := map[stats.ID]bool{}
 	for _, q := range queries {
 		r, err := RunMNSA(sess, q, cfg)
@@ -297,9 +310,11 @@ func RunMNSAWorkload(sess *optimizer.Session, queries []*query.Select, cfg Confi
 		}
 	}
 	// The final drop-list reflects later resurrections, so read it from the
-	// manager rather than accumulating per-query.
-	for _, st := range sess.Manager().DropList() {
-		wr.DropListed = append(wr.DropListed, st.ID)
+	// manager rather than accumulating per-query — minus the entry snapshot.
+	for _, id := range sess.Manager().DropListIDs() {
+		if !pre[id] {
+			wr.DropListed = append(wr.DropListed, id)
+		}
 	}
 	return wr, nil
 }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// RunMNSAWorkloadParallel is RunMNSAWorkload with the per-query MNSA runs
+// fanned out to a pool of parallelism workers. Each worker gets its own
+// cloned session (sessions are single-goroutine; the statistics manager and
+// plan cache they share are concurrency-safe), statistics accumulate in the
+// shared manager exactly as in the serial driver, and the per-query results
+// are merged deterministically in input order.
+//
+// parallelism <= 1 delegates to RunMNSAWorkload, so the output is
+// byte-identical to the serial driver. With parallelism > 1 the outcome is
+// schedule-dependent in the way serial query order already is: a query that
+// runs after more statistics exist may stop earlier (its sensitivity extremes
+// converge sooner), so the created set can differ from a serial run's —
+// typically overlapping heavily — and per-query attribution moves to
+// whichever worker first needed a statistic. Every created statistic is still
+// drawn from the same candidate space and every query still terminates by the
+// same Figure 1 criteria.
+func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, cfg Config, parallelism int) (*WorkloadResult, error) {
+	if parallelism <= 1 {
+		return RunMNSAWorkload(sess, queries, cfg)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if len(queries) == 0 {
+		return &WorkloadResult{}, nil
+	}
+
+	mgr := sess.Manager()
+	pre := map[stats.ID]bool{}
+	for _, id := range mgr.DropListIDs() {
+		pre[id] = true
+	}
+
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := sess.Clone()
+			for i := range indices {
+				results[i], errs[i] = RunMNSA(ws, queries[i], cfg)
+			}
+		}()
+	}
+	for i := range queries {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	// Report the first failure by input position so reruns see a stable
+	// error regardless of goroutine scheduling.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+	}
+
+	wr := &WorkloadResult{PerQuery: results}
+	seen := map[stats.ID]bool{}
+	for _, r := range results {
+		wr.OptimizerCalls += r.OptimizerCalls
+		for _, id := range r.Created {
+			if !seen[id] {
+				seen[id] = true
+				wr.Created = append(wr.Created, id)
+			}
+		}
+	}
+	for _, id := range mgr.DropListIDs() {
+		if !pre[id] {
+			wr.DropListed = append(wr.DropListed, id)
+		}
+	}
+	return wr, nil
+}
+
+// OfflineTuneParallel is OfflineTune with the MNSA creation phase run through
+// RunMNSAWorkloadParallel. The Shrinking Set phase stays serial: it is a
+// sequence of dependent hide-and-reoptimize probes over shared session state,
+// and its optimizer calls are the cheap part once statistics exist.
+func OfflineTuneParallel(sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence, parallelism int) (*TuneReport, error) {
+	if eq == nil {
+		eq = ExecutionTree{}
+	}
+	rep := &TuneReport{}
+	wr, err := RunMNSAWorkloadParallel(sess, queries, cfg, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rep.MNSA = wr
+
+	sr, err := ShrinkingSet(sess, queries, nil, eq)
+	if err != nil {
+		return nil, err
+	}
+	rep.Shrink = sr
+	mgr := sess.Manager()
+	for _, id := range sr.Removed {
+		if mgr.AddToDropList(id) {
+			rep.DropListed = append(rep.DropListed, id)
+		}
+	}
+	return rep, nil
+}

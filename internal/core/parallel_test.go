@@ -1,0 +1,193 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+var tuningWorkloadSQL = []string{
+	"SELECT * FROM lineitem WHERE l_quantity > 45",
+	"SELECT * FROM orders WHERE o_totalprice < 1000",
+	"SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_discount > 0.05",
+	"SELECT * FROM customer WHERE c_acctbal > 9000",
+	"SELECT * FROM lineitem, partsupp WHERE l_partkey = ps_partkey AND l_quantity < 5",
+	"SELECT * FROM orders, customer WHERE o_custkey = c_custkey AND o_totalprice > 50000",
+}
+
+func tuningWorkload(t testing.TB, db *storage.Database) []*querySelect {
+	t.Helper()
+	qs := make([]*querySelect, 0, len(tuningWorkloadSQL))
+	for _, sql := range tuningWorkloadSQL {
+		qs = append(qs, mustParse(t, db, sql))
+	}
+	return qs
+}
+
+// TestParallelP1IdenticalToSerial: with parallelism 1 the parallel driver
+// must reproduce the serial driver exactly — same structs, same order, same
+// counters — on an identical fresh database.
+func TestParallelP1IdenticalToSerial(t *testing.T) {
+	dbA, dbB := testDB(t, 2), testDB(t, 2)
+	sessA, sessB := newSession(t, dbA), newSession(t, dbB)
+	cfg := DefaultConfig()
+	cfg.Drop = true
+
+	serial, err := RunMNSAWorkload(sessA, tuningWorkload(t, dbA), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMNSAWorkloadParallel(sessB, tuningWorkload(t, dbB), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallelism=1 diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestParallelWorkloadInvariants: at higher parallelism the created set is
+// schedule-dependent (a query running after more statistics exist may stop
+// earlier), so exact set equality with serial only holds at p=1. What must
+// hold at any parallelism: one result per query in input order, no duplicate
+// creations, every reported creation present in the manager, and the created
+// set drawn from the serial run's candidate space.
+func TestParallelWorkloadInvariants(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	cfg := DefaultConfig()
+	cfg.Drop = true
+
+	queries := tuningWorkload(t, db)
+	candidates := map[stats.ID]bool{}
+	for _, c := range WorkloadCandidates(queries, cfg.CandidateFn) {
+		candidates[c.ID()] = true
+	}
+
+	par, err := RunMNSAWorkloadParallel(sess, queries, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.PerQuery) != len(queries) {
+		t.Fatalf("PerQuery has %d entries, want %d", len(par.PerQuery), len(queries))
+	}
+	dup := map[stats.ID]bool{}
+	for _, id := range par.Created {
+		if dup[id] {
+			t.Errorf("statistic %s reported created twice", id)
+		}
+		dup[id] = true
+		if !candidates[id] {
+			t.Errorf("created statistic %s is outside the candidate space", id)
+		}
+		if !sess.Manager().Has(id) {
+			t.Errorf("created statistic %s missing from the manager", id)
+		}
+	}
+	if len(par.Created) == 0 {
+		t.Error("expected the parallel run to create statistics")
+	}
+	calls := 0
+	for _, r := range par.PerQuery {
+		if r == nil {
+			t.Fatal("nil per-query result")
+		}
+		calls += r.OptimizerCalls
+	}
+	if calls != par.OptimizerCalls {
+		t.Errorf("OptimizerCalls %d != per-query sum %d", par.OptimizerCalls, calls)
+	}
+}
+
+// TestParallelWithSharedPlanCache runs the parallel driver with a shared plan
+// cache attached; under -race this doubles as the optimize-while-mutate
+// stress test at the workload level.
+func TestParallelWithSharedPlanCache(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	cache := optimizer.NewPlanCache(256)
+	sess.SetPlanCache(cache)
+	wr, err := RunMNSAWorkloadParallel(sess, tuningWorkload(t, db), DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Created) == 0 {
+		t.Error("expected statistics to be created")
+	}
+	st := cache.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("plan cache saw no traffic during parallel tuning")
+	}
+}
+
+// TestParallelDropListDelta: pre-existing drop-list entries must not be
+// reported by either driver (regression for the snapshot-delta fix).
+func TestParallelDropListDelta(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		db := testDB(t, 2)
+		sess := newSession(t, db)
+		mgr := sess.Manager()
+		pre, err := mgr.Create("supplier", []string{"s_acctbal"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.AddToDropList(pre.ID)
+
+		cfg := DefaultConfig()
+		cfg.Drop = true
+		wr, err := RunMNSAWorkloadParallel(sess, tuningWorkload(t, db), cfg, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range wr.DropListed {
+			if id == pre.ID {
+				t.Errorf("p=%d: pre-existing drop-list entry %s reported as new", parallelism, id)
+			}
+		}
+	}
+}
+
+// TestAgingSkipAvoidsWastedReoptimize: when aging suppresses every candidate,
+// MNSA must terminate after the initial plan and one extremes test (3 calls)
+// instead of burning a re-optimization per suppressed unit.
+func TestAgingSkipAvoidsWastedReoptimize(t *testing.T) {
+	db := testDB(t, 2)
+	sess := newSession(t, db)
+	mgr := sess.Manager()
+	mgr.AgingWindow = 1000
+
+	q := mustParse(t, db, "SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45")
+	cfg := DefaultConfig()
+	res, err := RunMNSA(sess, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Created {
+		mgr.Drop(id)
+	}
+
+	cfg.UseAging = true
+	cfg.AgingCostThreshold = 1e18
+	res2, err := RunMNSA(sess, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Created) != 0 || len(res2.AgeSkipped) == 0 {
+		t.Fatalf("setup: aging should suppress all creation: %+v", res2)
+	}
+	if res2.TerminatedBy != TermNoCandidates {
+		t.Errorf("terminated by %s, want %s", res2.TerminatedBy, TermNoCandidates)
+	}
+	// 1 initial optimization + 2 extreme plans; no re-optimizations for
+	// units that built nothing.
+	if res2.OptimizerCalls != 3 {
+		t.Errorf("OptimizerCalls = %d, want 3 (no wasted re-optimizations)", res2.OptimizerCalls)
+	}
+	if res2.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1 (extremes tested once)", res2.Iterations)
+	}
+}
+

@@ -92,7 +92,9 @@ func ShrinkingSetFast(sess *optimizer.Session, queries []*query.Select, initial 
 	}
 	covered := make([]bool, len(queries))
 	if len(outsideSeed) > 0 {
-		sess.IgnoreStatisticsSubset(dbName, outsideSeed)
+		if err := sess.IgnoreStatisticsSubset(dbName, outsideSeed); err != nil {
+			return nil, err
+		}
 		for i, q := range queries {
 			p, err := sess.Optimize(q)
 			if err != nil {
@@ -147,7 +149,9 @@ func ShrinkingSetFast(sess *optimizer.Session, queries []*query.Select, initial 
 			if !statRelevant(st, relevant[i]) {
 				continue
 			}
-			sess.IgnoreStatisticsSubset(dbName, ignoreList(sid))
+			if err := sess.IgnoreStatisticsSubset(dbName, ignoreList(sid)); err != nil {
+				return nil, err
+			}
 			p, err := sess.Optimize(q)
 			if err != nil {
 				return nil, err
@@ -177,7 +181,9 @@ func ShrinkingSetFast(sess *optimizer.Session, queries []*query.Select, initial 
 			if !statRelevant(st, relevant[i]) {
 				continue
 			}
-			sess.IgnoreStatisticsSubset(dbName, ignoreList(sid))
+			if err := sess.IgnoreStatisticsSubset(dbName, ignoreList(sid)); err != nil {
+				return false, err
+			}
 			p, err := sess.Optimize(q)
 			if err != nil {
 				return false, err
@@ -196,7 +202,9 @@ func ShrinkingSetFast(sess *optimizer.Session, queries []*query.Select, initial 
 			for id := range removed {
 				currentIgnore = append(currentIgnore, id)
 			}
-			sess.IgnoreStatisticsSubset(dbName, currentIgnore)
+			if err := sess.IgnoreStatisticsSubset(dbName, currentIgnore); err != nil {
+				return nil, err
+			}
 			p, err := sess.Optimize(q)
 			if err != nil {
 				return nil, err

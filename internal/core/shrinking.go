@@ -90,7 +90,9 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 			if !statRelevant(st, relevant[i]) {
 				continue
 			}
-			sess.IgnoreStatisticsSubset(dbName, ignoreList(sid))
+			if err := sess.IgnoreStatisticsSubset(dbName, ignoreList(sid)); err != nil {
+				return nil, err
+			}
 			p, err := sess.Optimize(q)
 			if err != nil {
 				return nil, err

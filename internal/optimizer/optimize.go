@@ -21,6 +21,28 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	if len(q.Tables) > 16 {
 		return nil, fmt.Errorf("optimizer: %d tables exceeds the 16-table join limit", len(q.Tables))
 	}
+
+	var key planKey
+	if s.cache != nil {
+		key = s.cacheKey(q.SQL())
+		if p, ok := s.cache.get(key); ok {
+			return p, nil
+		}
+	}
+
+	p, err := s.optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	// Publish only if no statistics or data mutation raced with this
+	// optimization; a plan built from a torn read must not be cached.
+	if s.cache != nil && s.mgr.Epoch() == key.epoch && s.mgr.Database().DataVersion() == key.dataVersion {
+		s.cache.put(key, p)
+	}
+	return p, nil
+}
+
+func (s *Session) optimize(q *query.Select) (*Plan, error) {
 	e := newEstimator(s, q)
 
 	// Map table -> bit position, rejecting self-joins.

@@ -96,7 +96,9 @@ func TestIgnoreStatisticsSubset(t *testing.T) {
 		[]query.Filter{{Col: col("orders", "o_orderdate"), Op: query.Gt, Val: catalog.NewDate(10400)}},
 		nil, nil)
 	with, _ := sess.Optimize(q)
-	sess.IgnoreStatisticsSubset(sess.Manager().Database().Name, []stats.ID{id.ID})
+	if err := sess.IgnoreStatisticsSubset(sess.Manager().Database().Name, []stats.ID{id.ID}); err != nil {
+		t.Fatal(err)
+	}
 	without, _ := sess.Optimize(q)
 	if with.Signature() == without.Signature() {
 		t.Error("ignoring the only relevant statistic should change the plan")
@@ -104,12 +106,17 @@ func TestIgnoreStatisticsSubset(t *testing.T) {
 	if len(without.MissingVars) != 1 {
 		t.Errorf("ignored statistic should make the variable missing: %v", without.MissingVars)
 	}
-	// Wrong database id: call is a no-op.
+	// Wrong database id: the call must fail and leave the buffer untouched.
 	sess.ClearIgnored()
-	sess.IgnoreStatisticsSubset("not-this-db", []stats.ID{id.ID})
+	if err := sess.IgnoreStatisticsSubset("not-this-db", []stats.ID{id.ID}); err == nil {
+		t.Error("IgnoreStatisticsSubset with wrong db id should return an error")
+	}
+	if sess.Ignored(id.ID) {
+		t.Error("failed IgnoreStatisticsSubset must not modify the ignore buffer")
+	}
 	again, _ := sess.Optimize(q)
 	if again.Signature() != with.Signature() {
-		t.Error("IgnoreStatisticsSubset with wrong db id must be ignored")
+		t.Error("failed IgnoreStatisticsSubset must not change planning")
 	}
 	sess.ClearIgnored()
 }

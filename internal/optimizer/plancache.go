@@ -1,0 +1,191 @@
+package optimizer
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// planKey identifies a cached plan. Two optimizations may share a plan only
+// when every input the cost model reads is identical: the query text, the
+// statistics epoch (bumped by every create/drop/refresh/drop-list change),
+// the storage data version (bumped by every DML row change), the magic
+// numbers, and the session's ignore buffer and selectivity overrides. The
+// struct is comparable so it can key a map directly.
+type planKey struct {
+	sql         string
+	epoch       uint64
+	dataVersion int64
+	magic       MagicNumbers
+	ignored     string // sorted statistic IDs, comma-joined
+	overrides   string // sorted "var=sel" pairs, comma-joined
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness counters.
+type PlanCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PlanCache is a concurrency-safe LRU cache of optimized plans. It is shared
+// by all sessions cloned from one System: the key embeds every per-session
+// knob (magic numbers, ignore buffer, overrides), so sessions with different
+// settings never collide, while workers running the same workload share hits.
+//
+// Plans are treated as immutable once published; callers must not mutate a
+// Plan returned from the cache.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List               // front = most recently used
+	entries   map[planKey]*list.Element // element value is *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  planKey
+	plan *Plan
+}
+
+// NewPlanCache creates a cache holding at most capacity plans. Capacity <= 0
+// returns nil, which every method treats as a disabled cache.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[planKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key, if present, and marks it recently used.
+func (c *PlanCache) get(key planKey) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put stores a plan under key, evicting the least recently used entry when
+// the cache is full.
+func (c *PlanCache) put(key planKey, p *Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: p})
+}
+
+// Stats returns a snapshot of the cache counters. Safe on a nil cache.
+func (c *PlanCache) Stats() PlanCacheStats {
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Len returns the number of cached plans. Safe on a nil cache.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Clear drops every cached plan but keeps the counters. Safe on a nil cache.
+func (c *PlanCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[planKey]*list.Element, c.capacity)
+}
+
+// cacheKey builds the planKey for q under the session's current state. The
+// returned epoch lets Optimize re-check for concurrent statistics mutations
+// before publishing the plan.
+func (s *Session) cacheKey(sql string) planKey {
+	key := planKey{
+		sql:         sql,
+		epoch:       s.mgr.Epoch(),
+		dataVersion: s.mgr.Database().DataVersion(),
+		magic:       s.Magic,
+	}
+	if len(s.ignored) > 0 {
+		ids := make([]string, 0, len(s.ignored))
+		for id := range s.ignored {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		key.ignored = strings.Join(ids, ",")
+	}
+	if len(s.overrides) > 0 {
+		vars := make([]int, 0, len(s.overrides))
+		for v := range s.overrides {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		var b strings.Builder
+		for i, v := range vars {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d=%g", v, s.overrides[v])
+		}
+		key.overrides = b.String()
+	}
+	return key
+}

@@ -1,6 +1,8 @@
 package optimizer
 
 import (
+	"fmt"
+
 	"autostats/internal/stats"
 )
 
@@ -14,13 +16,16 @@ import (
 //     that would otherwise fall back to default magic numbers (used by MNSA
 //     to construct P_low and P_high).
 //
-// Sessions are not safe for concurrent use; create one per goroutine.
+// Sessions are not safe for concurrent use; create one per goroutine (Clone
+// is the cheap way to do that). The attached PlanCache, by contrast, IS safe
+// for concurrent use and is intentionally shared across clones.
 type Session struct {
 	mgr   *stats.Manager
 	Magic MagicNumbers
 
 	ignored   map[stats.ID]bool
 	overrides map[int]float64
+	cache     *PlanCache
 }
 
 // NewSession creates a session over the given statistics manager with
@@ -37,18 +42,41 @@ func NewSession(mgr *stats.Manager) *Session {
 // Manager returns the underlying statistics manager.
 func (s *Session) Manager() *stats.Manager { return s.mgr }
 
+// SetPlanCache attaches a plan cache (nil detaches). Shared caches are safe:
+// the cache key embeds every session-specific optimizer input.
+func (s *Session) SetPlanCache(c *PlanCache) { s.cache = c }
+
+// PlanCache returns the attached plan cache, or nil.
+func (s *Session) PlanCache() *PlanCache { return s.cache }
+
+// Clone returns an independent session for use by another goroutine: same
+// manager, magic numbers and (shared, thread-safe) plan cache, but fresh
+// ignore and override buffers so the clones cannot interfere.
+func (s *Session) Clone() *Session {
+	return &Session{
+		mgr:       s.mgr,
+		Magic:     s.Magic,
+		ignored:   make(map[stats.ID]bool),
+		overrides: make(map[int]float64),
+		cache:     s.cache,
+	}
+}
+
 // IgnoreStatisticsSubset replaces the session's ignore buffer: subsequent
 // optimizations behave as if the listed statistics did not exist. The dbID
 // parameter mirrors the server call signature; it must match the managed
-// database's name ("" matches any).
-func (s *Session) IgnoreStatisticsSubset(dbID string, ids []stats.ID) {
+// database's name ("" matches any). A mismatch returns an error and leaves
+// the buffer untouched — silently ignoring it would make Shrinking Set
+// results look like every statistic is essential.
+func (s *Session) IgnoreStatisticsSubset(dbID string, ids []stats.ID) error {
 	if dbID != "" && dbID != s.mgr.Database().Name {
-		return
+		return fmt.Errorf("optimizer: IgnoreStatisticsSubset for database %q, but session manages %q", dbID, s.mgr.Database().Name)
 	}
 	s.ignored = make(map[stats.ID]bool, len(ids))
 	for _, id := range ids {
 		s.ignored[id] = true
 	}
+	return nil
 }
 
 // ClearIgnored empties the ignore buffer.

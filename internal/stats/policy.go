@@ -37,7 +37,7 @@ type MaintenanceReport struct {
 // then drops over-updated statistics per the policy.
 func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error) {
 	var rep MaintenanceReport
-	costBefore := m.TotalUpdateCost
+	costBefore := m.Snapshot().TotalUpdateCost
 	for _, table := range m.db.Schema.TableNames() {
 		td, err := m.db.Table(table)
 		if err != nil {
@@ -70,6 +70,6 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 			}
 		}
 	}
-	rep.UpdateCostUnits = m.TotalUpdateCost - costBefore
+	rep.UpdateCostUnits = m.Snapshot().TotalUpdateCost - costBefore
 	return rep, nil
 }

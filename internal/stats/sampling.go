@@ -37,13 +37,19 @@ func (m *Manager) SetSampling(cfg SampleConfig) error {
 	if cfg.MinRows <= 0 {
 		cfg.MinRows = 100
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.sampling = cfg
 	return nil
 }
 
 // Sampling returns the active sampling configuration (Fraction 0 when
 // disabled).
-func (m *Manager) Sampling() SampleConfig { return m.sampling }
+func (m *Manager) Sampling() SampleConfig {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.sampling
+}
 
 // sampleTuples draws the per-statistic sample. The RNG seed mixes the
 // manager seed with the statistic ID so every statistic has an independent

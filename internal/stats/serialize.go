@@ -103,6 +103,8 @@ func (m *Manager) Load(r io.Reader) error {
 	if snap.Version != 1 {
 		return fmt.Errorf("stats: unsupported snapshot version %d", snap.Version)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	loaded := make(map[ID]*Statistic, len(snap.Statistics))
 	for _, sj := range snap.Statistics {
 		if len(sj.Columns) == 0 {
@@ -143,5 +145,6 @@ func (m *Manager) Load(r io.Reader) error {
 		}
 	}
 	m.stats = loaded
+	m.epoch++
 	return nil
 }

@@ -2,12 +2,23 @@
 // deletion of single- and multi-column statistics over a storage.Database,
 // the drop-list of §5, the aging mechanism of §6, and the SQL Server 7.0
 // auto-update/auto-drop maintenance policy the paper extends.
+//
+// Concurrency model: a Manager is safe for concurrent use. All mutating
+// entry points take a write lock, all readers take a read lock, and every
+// observable mutation (Create/Drop/Refresh/drop-list changes/Load) bumps a
+// monotonically increasing epoch that callers — notably the optimizer's plan
+// cache — use to detect staleness. *Statistic values handed out by the
+// manager are treated as immutable snapshots: Refresh replaces the map entry
+// with a fresh Statistic instead of mutating the published one in place, so
+// a reader that obtained a pointer before the refresh keeps a consistent
+// (if stale) view without data races.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"autostats/internal/histogram"
@@ -27,7 +38,9 @@ func MakeID(table string, cols []string) ID {
 	return ID(strings.ToLower(table) + "(" + strings.Join(lower, ",") + ")")
 }
 
-// Statistic is one created statistic and its bookkeeping.
+// Statistic is one created statistic and its bookkeeping. Once published by
+// the manager it must be treated as read-only; the manager replaces the
+// whole value on refresh.
 type Statistic struct {
 	ID      ID
 	Table   string
@@ -37,7 +50,7 @@ type Statistic struct {
 	Data *histogram.MultiColumn
 
 	// BuildCost is the work-unit cost charged when the statistic was built
-	// (and charged again on every refresh).
+	// (refreshes charge the same units to the update-side accounting).
 	BuildCost float64
 	// BuildTime is the wall-clock time of the most recent (re)build.
 	BuildTime time.Duration
@@ -59,27 +72,35 @@ func (s *Statistic) IsSingleColumn() bool { return len(s.Columns) == 1 }
 // LeadingColumn returns the first (histogram-bearing) column.
 func (s *Statistic) LeadingColumn() string { return s.Columns[0] }
 
-// Manager owns all statistics of one database.
+// Manager owns all statistics of one database. It is safe for concurrent
+// use; see the package comment for the locking and epoch discipline.
 type Manager struct {
 	db         *storage.Database
 	kind       histogram.Kind
 	maxBuckets int
 
+	mu    sync.RWMutex
 	stats map[ID]*Statistic
 	// droppedAt records logical drop times of physically dropped statistics,
 	// feeding the aging policy (§6).
 	droppedAt map[ID]int64
 	clock     int64
+	// epoch increases on every observable statistics mutation; equal epochs
+	// imply an identical visible statistics set.
+	epoch uint64
 
 	// AgingWindow is the number of logical ticks during which a recently
 	// dropped statistic is considered "aged" and should not be re-created
-	// for cheap queries. Zero disables aging.
+	// for cheap queries. Zero disables aging. Set it before sharing the
+	// manager across goroutines.
 	AgingWindow int64
 
 	// sampling configures sampled statistics construction (see SetSampling).
 	sampling SampleConfig
 
-	// Cumulative accounting, reported by the experiment harness.
+	// Cumulative accounting, reported by the experiment harness. Mutated
+	// only under mu; read them after concurrent phases have joined, or via
+	// Accounting for a consistent snapshot.
 	TotalBuildCost  float64
 	TotalBuildTime  time.Duration
 	TotalUpdateCost float64
@@ -102,24 +123,56 @@ func NewManager(db *storage.Database, kind histogram.Kind, maxBuckets int) *Mana
 // Database returns the managed database.
 func (m *Manager) Database() *storage.Database { return m.db }
 
+// Epoch returns the statistics epoch: a counter bumped by every observable
+// mutation (Create, Drop, Refresh, drop-list changes, Load, DropAll). Two
+// optimizations at the same epoch see the same statistics.
+func (m *Manager) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
 // Tick advances the logical clock (called once per processed statement by
 // policy drivers) and returns the new time.
 func (m *Manager) Tick() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.clock++
 	return m.clock
 }
 
 // Clock returns the current logical time.
-func (m *Manager) Clock() int64 { return m.clock }
+func (m *Manager) Clock() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.clock
+}
 
 // Get returns the statistic with the given ID, or nil.
-func (m *Manager) Get(id ID) *Statistic { return m.stats[id] }
+func (m *Manager) Get(id ID) *Statistic {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats[id]
+}
 
 // Has reports whether the statistic exists (whether or not drop-listed).
-func (m *Manager) Has(id ID) bool { return m.stats[id] != nil }
+func (m *Manager) Has(id ID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats[id] != nil
+}
 
-// All returns all existing statistics in deterministic ID order.
-func (m *Manager) All() []*Statistic {
+// IsDropListed reports whether the statistic exists and is drop-listed.
+func (m *Manager) IsDropListed(id ID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.stats[id]
+	return s != nil && s.InDropList
+}
+
+// allLocked returns all statistics in deterministic ID order. Callers must
+// hold mu (read or write).
+func (m *Manager) allLocked() []*Statistic {
 	out := make([]*Statistic, 0, len(m.stats))
 	for _, s := range m.stats {
 		out = append(out, s)
@@ -128,11 +181,20 @@ func (m *Manager) All() []*Statistic {
 	return out
 }
 
+// All returns all existing statistics in deterministic ID order.
+func (m *Manager) All() []*Statistic {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.allLocked()
+}
+
 // Maintained returns the statistics not in the drop-list — the set whose
 // update cost the system pays (§5, Table 1 metric).
 func (m *Manager) Maintained() []*Statistic {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []*Statistic
-	for _, s := range m.All() {
+	for _, s := range m.allLocked() {
 		if !s.InDropList {
 			out = append(out, s)
 		}
@@ -142,10 +204,26 @@ func (m *Manager) Maintained() []*Statistic {
 
 // DropList returns the drop-listed statistics in deterministic order.
 func (m *Manager) DropList() []*Statistic {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []*Statistic
-	for _, s := range m.All() {
+	for _, s := range m.allLocked() {
 		if s.InDropList {
 			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DropListIDs returns the drop-listed statistic IDs in ID order — a cheap
+// snapshot for workload drivers that report drop-list deltas.
+func (m *Manager) DropListIDs() []ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []ID
+	for _, s := range m.allLocked() {
+		if s.InDropList {
+			out = append(out, s.ID)
 		}
 	}
 	return out
@@ -156,23 +234,38 @@ func (m *Manager) DropList() []*Statistic {
 // resurrected (removed from the drop-list) without rebuilding, per §5:
 // "instead of re-creating the statistic s, it can simply be removed from the
 // drop-list and made accessible to the optimizer".
+//
+// Concurrent Create calls for the same ID are serialized; the second call
+// returns the statistic the first one built.
 func (m *Manager) Create(table string, cols []string) (*Statistic, error) {
 	id := MakeID(table, cols)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if s := m.stats[id]; s != nil {
 		if s.InDropList {
 			s.InDropList = false
+			m.epoch++
 		}
 		return s, nil
 	}
-	s, err := m.build(table, cols)
+	s, err := m.buildLocked(table, cols)
 	if err != nil {
 		return nil, err
 	}
+	// Creation accounting is charged here, NOT in buildLocked: refreshes
+	// reuse the build path but must charge only the update-side counters.
+	m.TotalBuildCost += s.BuildCost
+	m.TotalBuildTime += s.BuildTime
+	m.BuildCount++
 	m.stats[id] = s
+	m.epoch++
 	return s, nil
 }
 
-func (m *Manager) build(table string, cols []string) (*Statistic, error) {
+// buildLocked constructs a fresh Statistic from current data. It bumps the
+// logical clock but charges no accounting; Create and refreshLocked charge
+// the build- and update-side counters respectively. Callers must hold mu.
+func (m *Manager) buildLocked(table string, cols []string) (*Statistic, error) {
 	td, err := m.db.Table(table)
 	if err != nil {
 		return nil, err
@@ -195,9 +288,6 @@ func (m *Manager) build(table string, cols []string) (*Statistic, error) {
 	// Creation cost reflects the rows actually processed — sampling is
 	// exactly how real systems cheapen construction.
 	cost := histogram.BuildCostUnits(int64(len(sampled)), len(cols))
-	m.TotalBuildCost += cost
-	m.TotalBuildTime += elapsed
-	m.BuildCount++
 	m.clock++
 	return &Statistic{
 		ID:        id,
@@ -221,41 +311,60 @@ func lowerAll(cols []string) []string {
 
 // Drop physically removes a statistic and records the drop time for aging.
 func (m *Manager) Drop(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropLocked(id)
+}
+
+func (m *Manager) dropLocked(id ID) bool {
 	if _, ok := m.stats[id]; !ok {
 		return false
 	}
 	delete(m.stats, id)
 	m.clock++
 	m.droppedAt[id] = m.clock
+	m.epoch++
 	return true
 }
 
 // AddToDropList marks a statistic non-essential. Returns false if unknown.
 func (m *Manager) AddToDropList(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := m.stats[id]
 	if s == nil {
 		return false
 	}
-	s.InDropList = true
+	if !s.InDropList {
+		s.InDropList = true
+		m.epoch++
+	}
 	return true
 }
 
 // RemoveFromDropList resurrects a drop-listed statistic.
 func (m *Manager) RemoveFromDropList(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := m.stats[id]
 	if s == nil {
 		return false
 	}
-	s.InDropList = false
+	if s.InDropList {
+		s.InDropList = false
+		m.epoch++
+	}
 	return true
 }
 
 // PurgeDropList physically drops every drop-listed statistic and returns
 // how many were dropped (a policy action, §6).
 func (m *Manager) PurgeDropList() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
-	for _, s := range m.DropList() {
-		if m.Drop(s.ID) {
+	for _, s := range m.allLocked() {
+		if s.InDropList && m.dropLocked(s.ID) {
 			n++
 		}
 	}
@@ -266,6 +375,8 @@ func (m *Manager) PurgeDropList() int {
 // within the aging window, in which case re-creation should be dampened for
 // inexpensive queries (§6).
 func (m *Manager) RecentlyDropped(id ID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.AgingWindow <= 0 {
 		return false
 	}
@@ -274,8 +385,17 @@ func (m *Manager) RecentlyDropped(id ID) bool {
 }
 
 // Refresh rebuilds an existing statistic from current data, charging its
-// update cost. Drop-listed statistics are skipped (they are not maintained).
+// update cost (and only its update cost — creation accounting is untouched).
+// Drop-listed statistics are skipped (they are not maintained). The map
+// entry is replaced with a fresh Statistic; previously handed-out pointers
+// keep their pre-refresh snapshot.
 func (m *Manager) Refresh(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshLocked(id)
+}
+
+func (m *Manager) refreshLocked(id ID) error {
 	s := m.stats[id]
 	if s == nil {
 		return fmt.Errorf("stats: unknown statistic %s", id)
@@ -283,17 +403,18 @@ func (m *Manager) Refresh(id ID) error {
 	if s.InDropList {
 		return nil
 	}
-	fresh, err := m.build(s.Table, s.Columns)
+	fresh, err := m.buildLocked(s.Table, s.Columns)
 	if err != nil {
 		return err
 	}
-	s.Data = fresh.Data
-	s.BuildTime = fresh.BuildTime
-	s.BuildCost = fresh.BuildCost
-	s.UpdatedAt = m.clock
-	s.UpdateCount++
+	fresh.CreatedAt = s.CreatedAt
+	fresh.UpdatedAt = m.clock
+	fresh.UpdateCount = s.UpdateCount + 1
+	fresh.InDropList = s.InDropList
+	m.stats[id] = fresh
 	m.TotalUpdateCost += fresh.BuildCost
 	m.UpdateOpCount++
+	m.epoch++
 	return nil
 }
 
@@ -301,12 +422,14 @@ func (m *Manager) Refresh(id ID) error {
 // its modification counter. Returns the number refreshed.
 func (m *Manager) RefreshTable(table string) (int, error) {
 	table = strings.ToLower(table)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
-	for _, s := range m.All() {
+	for _, s := range m.allLocked() {
 		if s.Table != table || s.InDropList {
 			continue
 		}
-		if err := m.Refresh(s.ID); err != nil {
+		if err := m.refreshLocked(s.ID); err != nil {
 			return n, err
 		}
 		n++
@@ -321,8 +444,13 @@ func (m *Manager) RefreshTable(table string) (int, error) {
 // maintained statistics would charge — the "cost of updating the set of
 // statistics left behind" metric of Table 1.
 func (m *Manager) MaintenanceCostUnits() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var c float64
-	for _, s := range m.Maintained() {
+	for _, s := range m.allLocked() {
+		if s.InDropList {
+			continue
+		}
 		td, err := m.db.Table(s.Table)
 		if err != nil {
 			continue
@@ -335,8 +463,10 @@ func (m *Manager) MaintenanceCostUnits() float64 {
 // StatsOnTable returns all existing statistics on a table.
 func (m *Manager) StatsOnTable(table string) []*Statistic {
 	table = strings.ToLower(table)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []*Statistic
-	for _, s := range m.All() {
+	for _, s := range m.allLocked() {
 		if s.Table == table {
 			out = append(out, s)
 		}
@@ -350,8 +480,10 @@ func (m *Manager) StatsOnTable(table string) []*Statistic {
 // the most precise structure.
 func (m *Manager) StatsForColumn(table, column string) []*Statistic {
 	table, column = strings.ToLower(table), strings.ToLower(column)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []*Statistic
-	for _, s := range m.All() {
+	for _, s := range m.allLocked() {
 		if s.Table == table && s.LeadingColumn() == column {
 			out = append(out, s)
 		}
@@ -365,9 +497,34 @@ func (m *Manager) StatsForColumn(table, column string) []*Statistic {
 	return out
 }
 
+// Accounting is a consistent snapshot of the cumulative cost counters.
+type Accounting struct {
+	TotalBuildCost  float64
+	TotalBuildTime  time.Duration
+	TotalUpdateCost float64
+	BuildCount      int
+	UpdateOpCount   int
+}
+
+// Snapshot returns the accounting counters under the manager lock, safe to
+// call while other goroutines mutate statistics.
+func (m *Manager) Snapshot() Accounting {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Accounting{
+		TotalBuildCost:  m.TotalBuildCost,
+		TotalBuildTime:  m.TotalBuildTime,
+		TotalUpdateCost: m.TotalUpdateCost,
+		BuildCount:      m.BuildCount,
+		UpdateOpCount:   m.UpdateOpCount,
+	}
+}
+
 // ResetAccounting zeroes the cumulative cost counters (between experiment
 // phases).
 func (m *Manager) ResetAccounting() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.TotalBuildCost = 0
 	m.TotalBuildTime = 0
 	m.TotalUpdateCost = 0
@@ -378,6 +535,9 @@ func (m *Manager) ResetAccounting() {
 // DropAll removes every statistic without recording aging drops (used to
 // reset experiments).
 func (m *Manager) DropAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.stats = make(map[ID]*Statistic)
 	m.droppedAt = make(map[ID]int64)
+	m.epoch++
 }

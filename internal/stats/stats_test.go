@@ -137,14 +137,105 @@ func TestRefreshAccountingAndDropListSkip(t *testing.T) {
 	if n != 1 {
 		t.Errorf("refreshed %d stats, want 1 (drop-listed skipped)", n)
 	}
-	if a.UpdateCount != 1 || b.UpdateCount != 0 {
-		t.Errorf("update counts: a=%d b=%d", a.UpdateCount, b.UpdateCount)
+	// Refresh replaces the published Statistic; re-fetch for fresh state.
+	if got := m.Get(a.ID).UpdateCount; got != 1 {
+		t.Errorf("a.UpdateCount = %d, want 1", got)
+	}
+	if got := m.Get(b.ID).UpdateCount; got != 0 {
+		t.Errorf("b.UpdateCount = %d, want 0", got)
 	}
 	if m.TotalUpdateCost <= 0 {
 		t.Error("update cost not charged")
 	}
 	if err := m.Refresh(ID("t(zzz)")); err == nil {
 		t.Error("refresh of unknown statistic should error")
+	}
+}
+
+// TestRefreshChargesOnlyUpdateAccounting is the regression test for the
+// double-counting bug: Refresh used to delegate to the build path, bumping
+// TotalBuildCost/TotalBuildTime/BuildCount AND the update-side counters,
+// inflating the Table-1 creation metrics on every maintenance cycle.
+func TestRefreshChargesOnlyUpdateAccounting(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	st, err := m.Create("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Snapshot()
+	if before.BuildCount != 1 || before.TotalBuildCost <= 0 {
+		t.Fatalf("setup accounting: %+v", before)
+	}
+	if err := m.Refresh(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Snapshot()
+	if after.BuildCount != before.BuildCount {
+		t.Errorf("Refresh changed BuildCount: %d -> %d", before.BuildCount, after.BuildCount)
+	}
+	if after.TotalBuildCost != before.TotalBuildCost {
+		t.Errorf("Refresh changed TotalBuildCost: %v -> %v", before.TotalBuildCost, after.TotalBuildCost)
+	}
+	if after.TotalBuildTime != before.TotalBuildTime {
+		t.Errorf("Refresh changed TotalBuildTime: %v -> %v", before.TotalBuildTime, after.TotalBuildTime)
+	}
+	if after.UpdateOpCount != 1 || after.TotalUpdateCost <= 0 {
+		t.Errorf("Refresh must charge the update side: %+v", after)
+	}
+}
+
+// TestEpochBumpsOnMutations: every observable statistics mutation must
+// advance the epoch, and read-only calls must not.
+func TestEpochBumpsOnMutations(t *testing.T) {
+	m := NewManager(testDB(t), histogram.MaxDiff, 0)
+	e0 := m.Epoch()
+	st, err := m.Create("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := m.Epoch()
+	if e1 <= e0 {
+		t.Errorf("Create did not bump epoch: %d -> %d", e0, e1)
+	}
+	// Idempotent create of an existing, maintained statistic: no change.
+	if _, err := m.Create("t", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != e1 {
+		t.Errorf("no-op Create bumped epoch: %d -> %d", e1, m.Epoch())
+	}
+	m.All()
+	m.StatsForColumn("t", "a")
+	if m.Epoch() != e1 {
+		t.Error("read-only calls must not bump the epoch")
+	}
+	if !m.AddToDropList(st.ID) {
+		t.Fatal("AddToDropList failed")
+	}
+	e2 := m.Epoch()
+	if e2 <= e1 {
+		t.Error("AddToDropList did not bump epoch")
+	}
+	// Resurrection via Create is a visibility change too.
+	if _, err := m.Create("t", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	e3 := m.Epoch()
+	if e3 <= e2 {
+		t.Error("resurrecting Create did not bump epoch")
+	}
+	if err := m.Refresh(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	e4 := m.Epoch()
+	if e4 <= e3 {
+		t.Error("Refresh did not bump epoch")
+	}
+	if !m.Drop(st.ID) {
+		t.Fatal("drop failed")
+	}
+	if m.Epoch() <= e4 {
+		t.Error("Drop did not bump epoch")
 	}
 }
 
@@ -197,6 +288,8 @@ func TestMaintenancePolicy(t *testing.T) {
 	}
 
 	// Over-updated but NOT drop-listed: protected by DropListOnly.
+	// Refresh replaced the published Statistic, so re-fetch the live one.
+	a = m.Get(a.ID)
 	a.UpdateCount = 5
 	rep, _ = m.RunMaintenance(p)
 	if rep.StatsDropped != 0 {

@@ -61,3 +61,14 @@ func (db *Database) TotalRows() int {
 	}
 	return n
 }
+
+// DataVersion sums the per-table content-change counters. It changes
+// whenever any table's rows change, so together with the statistics epoch it
+// fingerprints everything a cached plan's estimates depend on.
+func (db *Database) DataVersion() int64 {
+	var v int64
+	for _, td := range db.tables {
+		v += td.Version()
+	}
+	return v
+}

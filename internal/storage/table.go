@@ -32,6 +32,10 @@ type TableData struct {
 	// modCounter counts rows inserted/updated/deleted since the last
 	// statistics refresh on this table (the SQL Server 7.0 policy counter).
 	modCounter int64
+	// version counts every content change since creation and is never
+	// reset (unlike modCounter). It feeds the optimizer's plan-cache key so
+	// DML invalidates cached plans whose cardinality inputs went stale.
+	version int64
 }
 
 // NewTableData creates an empty table.
@@ -51,6 +55,7 @@ func (t *TableData) Insert(r Row) error {
 	t.dead = append(t.dead, false)
 	t.live++
 	t.modCounter++
+	t.version++
 	for col, ix := range t.indexes {
 		ci := t.Schema.ColumnIndex(col)
 		ix.insert(r[ci], id)
@@ -72,6 +77,7 @@ func (t *TableData) BulkLoad(rows []Row) error {
 	t.rows = rows
 	t.dead = make([]bool, len(rows))
 	t.live = len(rows)
+	t.version++
 	for col := range t.indexes {
 		t.rebuildIndexLocked(col)
 	}
@@ -90,6 +96,13 @@ func (t *TableData) ModCounter() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.modCounter
+}
+
+// Version returns the monotonically increasing content-change counter.
+func (t *TableData) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // ResetModCounter zeroes the modification counter (called when statistics on
@@ -141,6 +154,7 @@ func (t *TableData) Delete(ids []int) int {
 		n++
 	}
 	t.modCounter += int64(n)
+	t.version += int64(n)
 	return n
 }
 
@@ -164,6 +178,7 @@ func (t *TableData) Update(ids []int, col int, v catalog.Datum) int {
 		n++
 	}
 	t.modCounter += int64(n)
+	t.version += int64(n)
 	return n
 }
 

@@ -33,6 +33,13 @@ type TuneOptions struct {
 	SmallTableRows int
 	// UseAging dampens re-creation of recently dropped statistics (§6).
 	UseAging bool
+	// Parallelism fans the per-query MNSA runs of TuneWorkload out to this
+	// many worker sessions over the shared statistics manager and plan
+	// cache. Values <= 1 run the exact serial algorithm. With higher values
+	// the created set is schedule-dependent (as it already is on serial
+	// query order): typically heavily overlapping a serial run's, always
+	// drawn from the same candidate space.
+	Parallelism int
 }
 
 func (o TuneOptions) config() core.Config {
@@ -85,7 +92,7 @@ func (s *System) TuneQuery(sql string, opts TuneOptions) (*TuneReport, error) {
 		Created:           idsToStrings(res.Created),
 		DropListed:        idsToStrings(res.DropListed),
 		OptimizerCalls:    res.OptimizerCalls,
-		CreationCostUnits: s.mgr.TotalBuildCost,
+		CreationCostUnits: s.mgr.Snapshot().TotalBuildCost,
 	}, nil
 }
 
@@ -105,7 +112,7 @@ func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneRe
 	cfg := opts.config()
 	rep := &TuneReport{}
 	if opts.Shrink {
-		tr, err := core.OfflineTune(s.sess, queries, cfg, nil)
+		tr, err := core.OfflineTuneParallel(s.sess, queries, cfg, nil, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +121,7 @@ func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneRe
 		rep.Essential = idsToStrings(tr.Shrink.Kept)
 		rep.OptimizerCalls = tr.MNSA.OptimizerCalls + tr.Shrink.OptimizerCalls
 	} else {
-		wr, err := core.RunMNSAWorkload(s.sess, queries, cfg)
+		wr, err := core.RunMNSAWorkloadParallel(s.sess, queries, cfg, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +129,7 @@ func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneRe
 		rep.DropListed = idsToStrings(wr.DropListed)
 		rep.OptimizerCalls = wr.OptimizerCalls
 	}
-	rep.CreationCostUnits = s.mgr.TotalBuildCost
+	rep.CreationCostUnits = s.mgr.Snapshot().TotalBuildCost
 	return rep, nil
 }
 
