@@ -28,6 +28,7 @@ package autostats
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"autostats/internal/catalog"
@@ -35,6 +36,7 @@ import (
 	"autostats/internal/datagen"
 	"autostats/internal/executor"
 	"autostats/internal/histogram"
+	"autostats/internal/obs"
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
 	"autostats/internal/sqlparser"
@@ -120,6 +122,20 @@ func (s *System) SetPlanCacheCapacity(n int) {
 func (s *System) PlanCacheStats() optimizer.PlanCacheStats {
 	return s.cache.Stats()
 }
+
+// Obs returns the observability registry the system's components report to
+// (obs.Default unless redirected on the statistics manager before sessions
+// were created). Use it to read counters, take snapshots, or register
+// tracers.
+func (s *System) Obs() *obs.Registry { return s.sess.Obs() }
+
+// WriteMetrics dumps every metric of the system's registry as "name value"
+// text lines — the same format as the CLIs' -metrics flags.
+func (s *System) WriteMetrics(w io.Writer) error { return s.sess.Obs().WriteText(w) }
+
+// AddTracer registers a span-event hook on the system's registry; subsequent
+// tuning, maintenance and optimization spans emit to it.
+func (s *System) AddTracer(t obs.Tracer) { s.sess.Obs().AddTracer(t) }
 
 // Schema returns the underlying schema (read-only use intended).
 func (s *System) Schema() *catalog.Schema { return s.db.Schema }

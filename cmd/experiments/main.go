@@ -21,6 +21,7 @@ import (
 	"autostats/internal/bench"
 	"autostats/internal/core"
 	"autostats/internal/datagen"
+	"autostats/internal/obs"
 )
 
 func main() {
@@ -33,8 +34,22 @@ func main() {
 		dbs      = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
 		introDB  = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
 		introScl = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
+		metrics  = flag.Bool("metrics", false, "dump the observability counters after the experiments")
+		traceTo  = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.JSONLTracer
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONLTracer(f)
+		obs.Default.AddTracer(tracer)
+	}
 
 	dbList := strings.Split(*dbs, ",")
 	run := func(name string, fn func() error) {
@@ -59,6 +74,21 @@ func main() {
 	run("ablation-cov", func() error { return runAblationCov(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-hist", func() error { return runAblationHist(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-sample", func() error { return runAblationSample(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceTo)
+	}
 }
 
 func orDefault(v, def string) string {
@@ -146,17 +176,17 @@ func runTable1(dbs []string, wl string, scale float64, seed int64) error {
 func runParallel(dbs []string, wl string, scale float64, seed int64, parallelism int) error {
 	header(fmt.Sprintf("Parallel tuning — serial vs %s-worker MNSA workload driver — workload %s, scale %.2f",
 		map[bool]string{true: "GOMAXPROCS", false: fmt.Sprint(parallelism)}[parallelism <= 0], wl, scale))
-	fmt.Printf("%-10s %4s %8s %12s %12s %9s %7s %6s %9s %12s\n",
-		"db", "p", "queries", "serial wall", "par wall", "speedup", "ser#", "par#", "overlap%", "cache h/m")
+	fmt.Printf("%-10s %4s %8s %12s %12s %9s %7s %6s %9s %7s %12s\n",
+		"db", "p", "queries", "serial wall", "par wall", "speedup", "ser#", "par#", "overlap%", "util%", "cache h/m")
 	for _, db := range dbs {
 		row, err := bench.Parallel(db, wl, scale, seed, parallelism)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10s %4d %8d %12v %12v %8.2fx %7d %6d %8.1f%% %6d/%d\n",
+		fmt.Printf("%-10s %4d %8d %12v %12v %8.2fx %7d %6d %8.1f%% %6.1f%% %6d/%d\n",
 			row.DB, row.Parallelism, row.Queries, row.SerialWall.Round(time.Millisecond),
 			row.ParWall.Round(time.Millisecond), row.SpeedupX, row.SerialStats, row.ParStats,
-			row.OverlapPct, row.CacheHits, row.CacheMiss)
+			row.OverlapPct, row.WorkerUtilPct, row.CacheHits, row.CacheMiss)
 	}
 	return nil
 }

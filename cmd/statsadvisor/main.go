@@ -23,6 +23,7 @@ import (
 	"autostats/internal/datagen"
 	"autostats/internal/executor"
 	"autostats/internal/histogram"
+	"autostats/internal/obs"
 	"autostats/internal/optimizer"
 	"autostats/internal/stats"
 	"autostats/internal/storage"
@@ -46,8 +47,21 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "per-query detail")
 		saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
 		loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
+		metrics  = flag.Bool("metrics", false, "dump the observability counters after the run")
+		traceTo  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.JSONLTracer
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONLTracer(f)
+		obs.Default.AddTracer(tracer)
+	}
 
 	db, err := openDatabase(*tblDir, *dbName, *scale, *dbSeed)
 	if err != nil {
@@ -166,6 +180,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("saved %d statistics to %s\n", len(mgr.All()), *saveTo)
+	}
+
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Printf("trace written to %s\n", *traceTo)
 	}
 }
 

@@ -42,6 +42,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, name := range db.Schema.TableNames() {
-		fmt.Printf("%-10s %7d rows -> %s/%s.tbl\n", name, db.MustTable(name).RowCount(), *out, name)
+		td, err := db.Table(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpcdgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %7d rows -> %s/%s.tbl\n", name, td.RowCount(), *out, name)
 	}
 }

@@ -28,6 +28,11 @@ type ParallelRow struct {
 	OverlapPct  float64
 	CacheHits   uint64
 	CacheMiss   uint64
+	// WorkerUtilPct is the parallel arm's pool utilization: the sum of
+	// per-worker busy time (the tune.worker.busy timing) over wall-clock ×
+	// workers, in percent. Values well below 100 indicate workers starved on
+	// the shared manager lock or on queue skew.
+	WorkerUtilPct float64
 }
 
 // Parallel tunes the same workload serially and with a worker pool, on two
@@ -66,12 +71,18 @@ func Parallel(dbName, wlName string, scale float64, seed int64, parallelism int)
 	if err != nil {
 		return nil, err
 	}
+	// Utilization comes from the busy-timing delta around this run: managers
+	// default to the shared obs.Default registry, so the counter may already
+	// hold observations from earlier rows.
+	busyT := parEnv.Sess.Obs().Timing("tune.worker.busy")
+	busyBefore := busyT.Snapshot().Sum
 	start = time.Now()
 	par, err := core.RunMNSAWorkloadParallel(parEnv.Sess, pw.Queries(), cfg, parallelism)
 	if err != nil {
 		return nil, err
 	}
 	parWall := time.Since(start)
+	busyDelta := busyT.Snapshot().Sum - busyBefore
 
 	row := &ParallelRow{
 		DB:          dbName,
@@ -85,6 +96,7 @@ func Parallel(dbName, wlName string, scale float64, seed int64, parallelism int)
 	}
 	if parWall > 0 {
 		row.SpeedupX = float64(serialWall) / float64(parWall)
+		row.WorkerUtilPct = 100 * float64(busyDelta) / (float64(parWall) * float64(parallelism))
 	}
 	cs := cache.Stats()
 	row.CacheHits, row.CacheMiss = cs.Hits, cs.Misses

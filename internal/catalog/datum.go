@@ -70,43 +70,69 @@ func NewDate(days int64) Datum { return Datum{T: Date, I: days} }
 // NewNull returns a NULL datum of type t.
 func NewNull(t Type) Datum { return Datum{T: t, Null: true} }
 
-// Compare orders d relative to other: -1 if d < other, 0 if equal, +1 if
-// d > other. NULL sorts before every non-NULL value. Comparing datums of
-// different types panics; the planner ensures operands are coerced first.
-func (d Datum) Compare(other Datum) int {
+// TryCompare orders d relative to other: -1 if d < other, 0 if equal, +1 if
+// d > other. NULL sorts before every non-NULL value; Int and Float compare
+// numerically across types. Any other type mix returns an error — reachable
+// from parsed SQL that compares a column to a literal of an incompatible
+// type, so it must surface as a query error, not a crash.
+func (d Datum) TryCompare(other Datum) (int, error) {
 	if d.Null || other.Null {
 		switch {
 		case d.Null && other.Null:
-			return 0
+			return 0, nil
 		case d.Null:
-			return -1
+			return -1, nil
 		default:
-			return 1
+			return 1, nil
 		}
 	}
 	if d.T != other.T {
-		// Allow Int/Float cross comparison; anything else is a planner bug.
 		if (d.T == Int || d.T == Float) && (other.T == Int || other.T == Float) {
-			return cmpFloat(d.asFloat(), other.asFloat())
+			return cmpFloat(d.asFloat(), other.asFloat()), nil
 		}
-		panic(fmt.Sprintf("catalog: comparing incompatible types %s and %s", d.T, other.T))
+		return 0, fmt.Errorf("catalog: cannot compare incompatible types %s and %s", d.T, other.T)
 	}
 	switch d.T {
 	case Int, Date:
 		switch {
 		case d.I < other.I:
-			return -1
+			return -1, nil
 		case d.I > other.I:
-			return 1
+			return 1, nil
 		default:
-			return 0
+			return 0, nil
 		}
 	case Float:
-		return cmpFloat(d.F, other.F)
+		return cmpFloat(d.F, other.F), nil
 	case String:
-		return strings.Compare(d.S, other.S)
+		return strings.Compare(d.S, other.S), nil
 	default:
-		panic(fmt.Sprintf("catalog: comparing unknown type %s", d.T))
+		return 0, fmt.Errorf("catalog: cannot compare unknown type %s", d.T)
+	}
+}
+
+// Compare is TryCompare for contexts that need a total order and never mix
+// types — sorting one column's values, histogram construction. It cannot
+// fail: operands TryCompare rejects (incompatible or unknown types) order
+// deterministically by type code, so a sort over heterogeneous data stays
+// stable instead of crashing. Predicate evaluation must use TryCompare so a
+// type mismatch surfaces as an error.
+func (d Datum) Compare(other Datum) int {
+	c, err := d.TryCompare(other)
+	if err != nil {
+		return cmpInt64(int64(d.T), int64(other.T))
+	}
+	return c
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
 	}
 }
 
@@ -129,12 +155,14 @@ func (d Datum) asFloat() float64 {
 }
 
 // Equal reports whether two datums compare equal. NULL never equals anything,
-// matching SQL semantics for predicate evaluation.
+// matching SQL semantics for predicate evaluation; incompatible types are
+// simply unequal.
 func (d Datum) Equal(other Datum) bool {
 	if d.Null || other.Null {
 		return false
 	}
-	return d.Compare(other) == 0
+	c, err := d.TryCompare(other)
+	return err == nil && c == 0
 }
 
 // ToFloat converts a numeric datum to float64 for histogram bucketing.

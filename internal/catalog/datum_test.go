@@ -60,13 +60,32 @@ func TestDatumNullNeverEqual(t *testing.T) {
 	}
 }
 
-func TestDatumCompareIncompatiblePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic comparing string with int")
-		}
-	}()
-	NewString("a").Compare(NewInt(1))
+func TestDatumTryCompareIncompatible(t *testing.T) {
+	if _, err := NewString("a").TryCompare(NewInt(1)); err == nil {
+		t.Error("expected error comparing string with int")
+	}
+	if _, err := NewInt(1).TryCompare(NewString("a")); err == nil {
+		t.Error("expected error comparing int with string")
+	}
+	if _, err := NewDate(1).TryCompare(NewFloat(1)); err == nil {
+		t.Error("expected error comparing date with float")
+	}
+	if c, err := NewInt(2).TryCompare(NewFloat(2.5)); err != nil || c != -1 {
+		t.Errorf("int vs float must stay comparable: c=%d err=%v", c, err)
+	}
+}
+
+// TestDatumCompareTotalOrder: Compare never panics; incompatible types fall
+// back to ordering by type code so sorts and histogram builds stay total.
+func TestDatumCompareTotalOrder(t *testing.T) {
+	s, i := NewString("a"), NewInt(1)
+	cs, ci := s.Compare(i), i.Compare(s)
+	if cs == 0 || ci == 0 || cs == ci {
+		t.Errorf("incompatible types must order deterministically and antisymmetrically: %d vs %d", cs, ci)
+	}
+	if s.Equal(i) || i.Equal(s) {
+		t.Error("incompatible types must not be Equal")
+	}
 }
 
 // TestStringRankPreservesOrder: StringRank must order strings consistently

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"autostats/internal/obs"
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
 	"autostats/internal/stats"
@@ -47,6 +48,36 @@ type Config struct {
 // NextStatFunc picks the next build unit from the remaining candidates given
 // the current default-magic-number plan and the missing variable IDs.
 type NextStatFunc func(p *optimizer.Plan, cands []Candidate, mgr *stats.Manager, consumed map[stats.ID]bool, missing []int) []Candidate
+
+// mnsaMetrics bundles the counters one MNSA run reports: how often the loop
+// ran, how many optimizer calls it cost (the paper's overhead metric), how
+// many extreme-plan re-optimizations and t-equivalence checks it performed,
+// and how many build units it actually consumed.
+type mnsaMetrics struct {
+	runs           *obs.Counter
+	iterations     *obs.Counter
+	optimizerCalls *obs.Counter
+	extremeReopts  *obs.Counter
+	tequivChecks   *obs.Counter
+	ageSkips       *obs.Counter
+	droplistAdds   *obs.Counter
+	resurrections  *obs.Counter
+	unitsConsumed  *obs.FloatCounter
+}
+
+func newMNSAMetrics(reg *obs.Registry) mnsaMetrics {
+	return mnsaMetrics{
+		runs:           reg.Counter("mnsa.runs"),
+		iterations:     reg.Counter("mnsa.iterations"),
+		optimizerCalls: reg.Counter("mnsa.optimizer_calls"),
+		extremeReopts:  reg.Counter("mnsa.extreme_reopts"),
+		tequivChecks:   reg.Counter("mnsa.tequiv.checks"),
+		ageSkips:       reg.Counter("mnsa.age_skips"),
+		droplistAdds:   reg.Counter("mnsa.droplist.adds"),
+		resurrections:  reg.Counter("mnsa.resurrections"),
+		unitsConsumed:  reg.FloatCounter("mnsa.units_consumed"),
+	}
+}
 
 // DefaultConfig returns the paper's experimental configuration: t = 20 %,
 // ε = 0.0005, §7.1 candidates, no dropping.
@@ -114,7 +145,19 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 		cfg.DropEquivalence = ExecutionTree{}
 	}
 	mgr := sess.Manager()
+	reg := sess.Obs()
+	met := newMNSAMetrics(reg)
+	met.runs.Inc()
+	sp := reg.StartSpan("mnsa.run", map[string]any{"sql": q.SQL()})
 	res := &Result{TerminatedBy: TermNoCandidates}
+	defer func() {
+		sp.End(map[string]any{
+			"created":         len(res.Created),
+			"drop_listed":     len(res.DropListed),
+			"optimizer_calls": res.OptimizerCalls,
+			"terminated_by":   string(res.TerminatedBy),
+		})
+	}()
 
 	// consumed tracks candidates no longer available this run (built,
 	// age-skipped, or already existing).
@@ -129,8 +172,12 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 				return nil, err
 			}
 			if td.RowCount() <= cfg.MinTableRows && !mgr.Has(c.ID()) {
-				if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+				s, built, err := mgr.Ensure(c.Table, c.Columns)
+				if err != nil {
 					return nil, err
+				}
+				if built {
+					met.unitsConsumed.Add(s.BuildCost)
 				}
 				res.Created = append(res.Created, c.ID())
 				consumed[c.ID()] = true
@@ -146,6 +193,7 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 		return nil, err
 	}
 	res.OptimizerCalls++
+	met.optimizerCalls.Inc()
 
 	// finish resurrects drop-listed statistics that this query's final plan
 	// depends on (§5): hide each one in turn and re-optimize; if the plan
@@ -172,6 +220,7 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 			}
 			sess.ClearIgnored()
 			res.OptimizerCalls++
+			met.optimizerCalls.Inc()
 			// Rescue when the statistic's absence changes the execution
 			// tree. Estimated-cost deltas are not a usable signal here:
 			// hiding a statistic swaps histogram estimates for magic
@@ -180,6 +229,7 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 			if !(ExecutionTree{}).Equivalent(probe, final) {
 				mgr.RemoveFromDropList(id)
 				res.Resurrected = append(res.Resurrected, id)
+				met.resurrections.Inc()
 			}
 		}
 		return res, nil
@@ -187,6 +237,7 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 
 	for {
 		res.Iterations++
+		met.iterations.Inc()
 		// Step 4: selectivity variables forced onto magic numbers.
 		missing := sess.MissingStatVars(q)
 		if len(missing) == 0 {
@@ -212,8 +263,11 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 		}
 		sess.ClearOverrides()
 		res.OptimizerCalls += 2
+		met.optimizerCalls.Add(2)
+		met.extremeReopts.Add(2)
 		// Step 7: t-optimizer-cost equivalence of the extremes implies the
 		// existing set includes an essential set (by cost monotonicity).
+		met.tequivChecks.Inc()
 		if (TOptimizerCost{T: cfg.T}).Equivalent(pLow, pHigh) {
 			res.TerminatedBy = TermEquivalent
 			return finish(p)
@@ -240,10 +294,15 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 				consumed[c.ID()] = true
 				if cfg.UseAging && mgr.RecentlyDropped(c.ID()) && p.Cost() <= cfg.AgingCostThreshold {
 					res.AgeSkipped = append(res.AgeSkipped, c.ID())
+					met.ageSkips.Inc()
 					continue
 				}
-				if _, err := mgr.Create(c.Table, c.Columns); err != nil {
+				s, built, err := mgr.Ensure(c.Table, c.Columns)
+				if err != nil {
 					return nil, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+				}
+				if built {
+					met.unitsConsumed.Add(s.BuildCost)
 				}
 				res.Created = append(res.Created, c.ID())
 				builtIDs = append(builtIDs, c.ID())
@@ -255,12 +314,14 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 			return nil, err
 		}
 		res.OptimizerCalls++
+		met.optimizerCalls.Inc()
 		// MNSA/D (§5.1): if creating the statistic left the plan
 		// equivalent, heuristically mark it non-essential.
 		if cfg.Drop && len(builtIDs) > 0 && cfg.DropEquivalence.Equivalent(pNew, p) {
 			for _, id := range builtIDs {
 				if mgr.AddToDropList(id) {
 					res.DropListed = append(res.DropListed, id)
+					met.droplistAdds.Inc()
 				}
 			}
 		}

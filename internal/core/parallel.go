@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
@@ -42,6 +43,15 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 		pre[id] = true
 	}
 
+	reg := sess.Obs()
+	// tune.worker.busy accumulates per-query work time across all workers;
+	// bench harnesses divide its sum by wall-clock × workers to report pool
+	// utilization. The gauge records the pool size of the most recent run.
+	busy := reg.Timing("tune.worker.busy")
+	workerQueries := reg.Counter("tune.worker.queries")
+	reg.Gauge("tune.workers").Set(int64(parallelism))
+	sp := reg.StartSpan("tune.parallel", map[string]any{"queries": len(queries), "workers": parallelism})
+
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
 	indices := make(chan int)
@@ -52,7 +62,10 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 			defer wg.Done()
 			ws := sess.Clone()
 			for i := range indices {
+				qStart := time.Now()
 				results[i], errs[i] = RunMNSA(ws, queries[i], cfg)
+				busy.Observe(time.Since(qStart))
+				workerQueries.Inc()
 			}
 		}()
 	}
@@ -66,10 +79,12 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 	// error regardless of goroutine scheduling.
 	for i, err := range errs {
 		if err != nil {
+			sp.End(map[string]any{"error": err.Error()})
 			return nil, fmt.Errorf("core: query %d: %w", i, err)
 		}
 	}
 
+	mergeStart := time.Now()
 	wr := &WorkloadResult{PerQuery: results}
 	seen := map[stats.ID]bool{}
 	for _, r := range results {
@@ -86,6 +101,12 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 			wr.DropListed = append(wr.DropListed, id)
 		}
 	}
+	reg.Timing("tune.merge.latency").Observe(time.Since(mergeStart))
+	sp.End(map[string]any{
+		"created":         len(wr.Created),
+		"drop_listed":     len(wr.DropListed),
+		"optimizer_calls": wr.OptimizerCalls,
+	})
 	return wr, nil
 }
 

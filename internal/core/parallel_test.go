@@ -190,4 +190,3 @@ func TestAgingSkipAvoidsWastedReoptimize(t *testing.T) {
 		t.Errorf("Iterations = %d, want 1 (extremes tested once)", res2.Iterations)
 	}
 }
-

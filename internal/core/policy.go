@@ -56,6 +56,8 @@ func (am *AutoManager) ProcessStatement(stmt query.Statement) (*executor.Result,
 	mgr := am.sess.Manager()
 	mgr.Tick()
 	am.StatementsRun++
+	reg := am.sess.Obs()
+	reg.Counter("auto.statements").Inc()
 
 	if q, ok := stmt.(*query.Select); ok {
 		if _, err := RunMNSA(am.sess, q, am.MNSA); err != nil {
@@ -74,6 +76,7 @@ func (am *AutoManager) ProcessStatement(stmt query.Statement) (*executor.Result,
 			return nil, err
 		}
 		am.MaintenanceRuns++
+		reg.Counter("auto.maintenance_runs").Inc()
 	}
 	return res, nil
 }

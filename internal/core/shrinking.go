@@ -42,6 +42,18 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 
 	res := &ShrinkResult{}
 	dbName := mgr.Database().Name
+	reg := sess.Obs()
+	probes := reg.Counter("shrink.probes")
+	equivChecks := reg.Counter("shrink.equiv_checks")
+	sp := reg.StartSpan("shrink.run", map[string]any{"stats": len(sorted), "queries": len(queries)})
+	defer func() {
+		sp.End(map[string]any{
+			"kept":            len(res.Kept),
+			"removed":         len(res.Removed),
+			"optimizer_calls": res.OptimizerCalls,
+		})
+	}()
+	reg.Counter("shrink.runs").Inc()
 
 	// Baseline plans Plan(Q, S) under the full initial set.
 	sess.ClearIgnored()
@@ -98,6 +110,8 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 				return nil, err
 			}
 			res.OptimizerCalls++
+			probes.Inc()
+			equivChecks.Inc()
 			if !eq.Equivalent(p, baseline[i]) {
 				essentialSomewhere = true
 				break
@@ -106,6 +120,9 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 		if !essentialSomewhere {
 			removed[sid] = true
 			res.Removed = append(res.Removed, sid)
+			reg.Counter("shrink.removed").Inc()
+		} else {
+			reg.Counter("shrink.kept").Inc()
 		}
 	}
 	sess.ClearIgnored()

@@ -93,7 +93,7 @@ func TestGenerateRowCounts(t *testing.T) {
 		"part": 200, "partsupp": 800, "orders": 1500, "lineitem": 6000,
 	}
 	for tbl, n := range want {
-		if got := db.MustTable(tbl).RowCount(); got != n {
+		if got := mustTable(t, db, tbl).RowCount(); got != n {
 			t.Errorf("%s rows = %d, want %d", tbl, got, n)
 		}
 	}
@@ -109,8 +109,8 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tbl := range a.Schema.TableNames() {
-		ra, _ := a.MustTable(tbl).ColumnValues(a.MustTable(tbl).Schema.Columns[0].Name)
-		rb, _ := b.MustTable(tbl).ColumnValues(b.MustTable(tbl).Schema.Columns[0].Name)
+		ra, _ := mustTable(t, a, tbl).ColumnValues(mustTable(t, a, tbl).Schema.Columns[0].Name)
+		rb, _ := mustTable(t, b, tbl).ColumnValues(mustTable(t, b, tbl).Schema.Columns[0].Name)
 		if len(ra) != len(rb) {
 			t.Fatalf("%s row counts differ", tbl)
 		}
@@ -131,14 +131,14 @@ func TestForeignKeyIntegrity(t *testing.T) {
 	}
 	for _, fk := range db.Schema.ForeignKeys {
 		parents := map[int64]bool{}
-		pv, err := db.MustTable(fk.RefTable).ColumnValues(fk.RefColumn)
+		pv, err := mustTable(t, db, fk.RefTable).ColumnValues(fk.RefColumn)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, v := range pv {
 			parents[v.I] = true
 		}
-		cv, err := db.MustTable(fk.Table).ColumnValues(fk.Column)
+		cv, err := mustTable(t, db, fk.Table).ColumnValues(fk.Column)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func TestForeignKeyIntegrity(t *testing.T) {
 	}
 
 	// partsupp (partkey, suppkey) pairs unique.
-	ps, err := db.MustTable("partsupp").MultiColumnValues([]string{"ps_partkey", "ps_suppkey"})
+	ps, err := mustTable(t, db, "partsupp").MultiColumnValues([]string{"ps_partkey", "ps_suppkey"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestForeignKeyIntegrity(t *testing.T) {
 		seen[k] = true
 	}
 	// lineitem pairs reference existing partsupp pairs.
-	li, err := db.MustTable("lineitem").MultiColumnValues([]string{"l_partkey", "l_suppkey"})
+	li, err := mustTable(t, db, "lineitem").MultiColumnValues([]string{"l_partkey", "l_suppkey"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestGenerateSkewShowsInData(t *testing.T) {
 	uniform, _ := Generate(Config{Scale: 1, Z: 0, Seed: 7})
 	skewed, _ := Generate(Config{Scale: 1, Z: 2, Seed: 7})
 	top := func(db *storage.Database) float64 {
-		vals, _ := db.MustTable("orders").ColumnValues("o_custkey")
+		vals, _ := mustTable(t, db, "orders").ColumnValues("o_custkey")
 		counts := map[int64]int{}
 		best := 0
 		for _, v := range vals {
@@ -223,7 +223,7 @@ func TestStringPoolsSane(t *testing.T) {
 
 func TestDatesWithinBenchmarkRange(t *testing.T) {
 	db, _ := Generate(Config{Scale: 0.25, Z: 1, Seed: 2})
-	vals, _ := db.MustTable("orders").ColumnValues("o_orderdate")
+	vals, _ := mustTable(t, db, "orders").ColumnValues("o_orderdate")
 	for _, v := range vals {
 		if v.T != catalog.Date || v.I < startDate || v.I >= startDate+dateSpan {
 			t.Fatalf("order date %v out of range", v)

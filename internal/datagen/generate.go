@@ -196,7 +196,11 @@ func Generate(cfg Config) (*storage.Database, error) {
 		for i := 0; i < n; i++ {
 			rows[i] = mkRow(i)
 		}
-		return db.MustTable(table).BulkLoad(rows)
+		td, err := db.Table(table)
+		if err != nil {
+			return err
+		}
+		return td.BulkLoad(rows)
 	}
 
 	// region: fixed 5 rows.

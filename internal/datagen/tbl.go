@@ -21,7 +21,10 @@ func WriteTbl(db *storage.Database, dir string) error {
 		return err
 	}
 	for _, name := range db.Schema.TableNames() {
-		td := db.MustTable(name)
+		td, err := db.Table(name)
+		if err != nil {
+			return err
+		}
 		f, err := os.Create(filepath.Join(dir, name+".tbl"))
 		if err != nil {
 			return err
@@ -91,7 +94,11 @@ func LoadTbl(dir string) (*storage.Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("datagen: reading %s: %w", path, err)
 		}
-		if err := db.MustTable(name).BulkLoad(rows); err != nil {
+		td, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := td.BulkLoad(rows); err != nil {
 			return nil, err
 		}
 	}

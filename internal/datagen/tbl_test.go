@@ -26,7 +26,7 @@ func TestWriteLoadTblRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range db.Schema.TableNames() {
-		a, b := db.MustTable(name), back.MustTable(name)
+		a, b := mustTable(t, db, name), mustTable(t, back, name)
 		if a.RowCount() != b.RowCount() {
 			t.Fatalf("%s: %d rows vs %d after reload", name, a.RowCount(), b.RowCount())
 		}
@@ -40,7 +40,7 @@ func TestWriteLoadTblRoundTrip(t *testing.T) {
 			}
 		}
 		// Indexes must be rebuilt on load.
-		if _, ok := back.MustTable("orders").IndexOn("o_orderkey"); !ok {
+		if _, ok := mustTable(t, back, "orders").IndexOn("o_orderkey"); !ok {
 			t.Fatal("schema indexes not rebuilt after LoadTbl")
 		}
 	}

@@ -126,7 +126,11 @@ func applyHaving(out *resultSet, having []query.HavingPred) (*resultSet, error) 
 			if !exists {
 				return nil, fmt.Errorf("executor: HAVING references uncomputed aggregate %s", h.Agg.SQL())
 			}
-			if !h.Op.Eval(row[p], h.Val) {
+			match, err := h.Op.Eval(row[p], h.Val)
+			if err != nil {
+				return nil, fmt.Errorf("executor: evaluating HAVING %s: %w", h.Agg.SQL(), err)
+			}
+			if !match {
 				ok = false
 				break
 			}

@@ -31,7 +31,7 @@ func runAgg(t *testing.T, e *env, sql string) ([][]catalog.Datum, map[string]int
 func TestScalarAggregates(t *testing.T) {
 	e := newEnv(t, 0, 0.25)
 	// Compute expected values straight from storage.
-	vals, err := e.db.MustTable("lineitem").ColumnValues("l_quantity")
+	vals, err := mustTable(t, e.db, "lineitem").ColumnValues("l_quantity")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestGroupedAggregatesMatchReference(t *testing.T) {
 	e := newEnv(t, 2, 0.25)
 	// Reference: count per group from storage.
 	want := map[string]int64{}
-	td := e.db.MustTable("orders")
+	td := mustTable(t, e.db, "orders")
 	pi := td.Schema.ColumnIndex("o_orderpriority")
 	td.Scan(func(_ int, r storage.Row) bool {
 		want[r[pi].S]++

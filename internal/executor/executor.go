@@ -103,7 +103,11 @@ func evalFilters(rs *resultSet, filters []query.Filter, row []catalog.Datum) (bo
 		if err != nil {
 			return false, err
 		}
-		if !f.Op.Eval(row[p], f.Val) {
+		ok, err := f.Op.Eval(row[p], f.Val)
+		if err != nil {
+			return false, fmt.Errorf("executor: evaluating %s: %w", f, err)
+		}
+		if !ok {
 			return false, nil
 		}
 	}

@@ -56,7 +56,7 @@ func referenceEval(t *testing.T, db *storage.Database, q *query.Select) []string
 		return p
 	}
 	for _, tbl := range q.Tables {
-		td := db.MustTable(tbl)
+		td := mustTable(t, db, tbl)
 		tn := strings.ToLower(tbl)
 		for i, c := range td.Schema.Columns {
 			cols[tn+"."+strings.ToLower(c.Name)] = width + i
@@ -80,7 +80,11 @@ func referenceEval(t *testing.T, db *storage.Database, q *query.Select) []string
 		var expanded [][]catalog.Datum
 		td.Scan(func(_ int, r storage.Row) bool {
 			for _, f := range filters {
-				if !f.Op.Eval(r[td.Schema.ColumnIndex(f.Col.Column)], f.Val) {
+				ok, err := f.Op.Eval(r[td.Schema.ColumnIndex(f.Col.Column)], f.Val)
+				if err != nil {
+					t.Fatalf("eval %s: %v", f, err)
+				}
+				if !ok {
 					return true
 				}
 			}
@@ -237,7 +241,7 @@ func TestExecutorMatchesReference(t *testing.T) {
 			// Phase 2: with full statistics → different plans, same results.
 			if phase == 0 {
 				for _, tbl := range e.db.Schema.TableNames() {
-					td := e.db.MustTable(tbl)
+					td := mustTable(t, e.db, tbl)
 					for _, c := range td.Schema.Columns {
 						if _, err := e.sess.Manager().Create(tbl, []string{c.Name}); err != nil {
 							t.Fatal(err)
@@ -284,13 +288,13 @@ func TestExecutorMatchesReferenceOnGeneratedWorkload(t *testing.T) {
 
 func TestDMLExecution(t *testing.T) {
 	e := newEnv(t, 0, 0.25)
-	before := e.db.MustTable("region").RowCount()
+	before := mustTable(t, e.db, "region").RowCount()
 
 	res, err := e.ex.RunStatement(e.sess, mustParse(t, e.db, "INSERT INTO region VALUES (9, 'ATLANTIS', 'sunk')"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Affected != 1 || e.db.MustTable("region").RowCount() != before+1 {
+	if res.Affected != 1 || mustTable(t, e.db, "region").RowCount() != before+1 {
 		t.Errorf("insert affected=%d", res.Affected)
 	}
 
@@ -313,8 +317,8 @@ func TestDMLExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Affected != 1 || e.db.MustTable("region").RowCount() != before {
-		t.Errorf("delete affected=%d rows=%d", res.Affected, e.db.MustTable("region").RowCount())
+	if res.Affected != 1 || mustTable(t, e.db, "region").RowCount() != before {
+		t.Errorf("delete affected=%d rows=%d", res.Affected, mustTable(t, e.db, "region").RowCount())
 	}
 	if res.Cost <= 0 {
 		t.Error("DML must charge cost")

@@ -11,7 +11,7 @@ func TestHavingFiltersGroups(t *testing.T) {
 	e := newEnv(t, 2, 0.25)
 	// Reference counts per group.
 	want := map[string]int64{}
-	td := e.db.MustTable("orders")
+	td := mustTable(t, e.db, "orders")
 	pi := td.Schema.ColumnIndex("o_orderpriority")
 	td.Scan(func(_ int, r storage.Row) bool {
 		want[r[pi].S]++

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"time"
 
 	"autostats/internal/query"
 )
@@ -26,18 +27,25 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	if s.cache != nil {
 		key = s.cacheKey(q.SQL())
 		if p, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Inc()
 			return p, nil
 		}
+		s.met.cacheMisses.Inc()
 	}
 
+	start := time.Now()
 	p, err := s.optimize(q)
 	if err != nil {
 		return nil, err
 	}
+	s.met.optimizations.Inc()
+	s.met.optimizeLatency.Observe(time.Since(start))
 	// Publish only if no statistics or data mutation raced with this
 	// optimization; a plan built from a torn read must not be cached.
 	if s.cache != nil && s.mgr.Epoch() == key.epoch && s.mgr.Database().DataVersion() == key.dataVersion {
-		s.cache.put(key, p)
+		if s.cache.put(key, p) {
+			s.met.cacheEvictions.Inc()
+		}
 	}
 	return p, nil
 }

@@ -45,7 +45,7 @@ func TestSingleTableScanPlan(t *testing.T) {
 	if p.Root.Op != OpTableScan {
 		t.Errorf("expected TableScan, got %s", p.Root.Op)
 	}
-	n := float64(db.MustTable("lineitem").RowCount())
+	n := float64(mustTable(t, db, "lineitem").RowCount())
 	if p.Root.Cost != n*CostRowScan {
 		t.Errorf("scan cost = %v, want %v", p.Root.Cost, n)
 	}

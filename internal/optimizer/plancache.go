@@ -51,7 +51,7 @@ func (s PlanCacheStats) HitRate() float64 {
 type PlanCache struct {
 	mu        sync.Mutex
 	capacity  int
-	order     *list.List               // front = most recently used
+	order     *list.List                // front = most recently used
 	entries   map[planKey]*list.Element // element value is *cacheEntry
 	hits      uint64
 	misses    uint64
@@ -94,27 +94,31 @@ func (c *PlanCache) get(key planKey) (*Plan, bool) {
 }
 
 // put stores a plan under key, evicting the least recently used entry when
-// the cache is full.
-func (c *PlanCache) put(key planKey, p *Plan) {
+// the cache is full. Reports whether an entry was evicted, so callers can
+// mirror the eviction to their own metrics.
+func (c *PlanCache) put(key planKey, p *Plan) bool {
 	if c == nil {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).plan = p
 		c.order.MoveToFront(el)
-		return
+		return false
 	}
+	evicted := false
 	if c.order.Len() >= c.capacity {
 		oldest := c.order.Back()
 		if oldest != nil {
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry).key)
 			c.evictions++
+			evicted = true
 		}
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: p})
+	return evicted
 }
 
 // Stats returns a snapshot of the cache counters. Safe on a nil cache.

@@ -80,7 +80,7 @@ func TestPlanCacheDataVersionInvalidation(t *testing.T) {
 	sess, _ := cachedSession(t, 8)
 	q := dateQuery(10400)
 	p1, _ := sess.Optimize(q)
-	td := sess.Manager().Database().MustTable("orders")
+	td := mustTable(t, sess.Manager().Database(), "orders")
 	row, _ := td.Get(0)
 	if err := td.Insert(append(storage.Row(nil), row...)); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 
+	"autostats/internal/obs"
 	"autostats/internal/stats"
 )
 
@@ -26,6 +27,31 @@ type Session struct {
 	ignored   map[stats.ID]bool
 	overrides map[int]float64
 	cache     *PlanCache
+	met       sessionMetrics
+}
+
+// sessionMetrics caches the session's observability handles. A session is
+// single-goroutine, so handles are captured once at construction (from the
+// manager's registry — call stats.Manager.SetObsRegistry before creating
+// sessions) and shared by clones.
+type sessionMetrics struct {
+	reg             *obs.Registry
+	optimizations   *obs.Counter
+	optimizeLatency *obs.Timing
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	cacheEvictions  *obs.Counter
+}
+
+func newSessionMetrics(reg *obs.Registry) sessionMetrics {
+	return sessionMetrics{
+		reg:             reg,
+		optimizations:   reg.Counter("optimizer.optimizations"),
+		optimizeLatency: reg.Timing("optimizer.optimize.latency"),
+		cacheHits:       reg.Counter("optimizer.plancache.hits"),
+		cacheMisses:     reg.Counter("optimizer.plancache.misses"),
+		cacheEvictions:  reg.Counter("optimizer.plancache.evictions"),
+	}
 }
 
 // NewSession creates a session over the given statistics manager with
@@ -36,11 +62,16 @@ func NewSession(mgr *stats.Manager) *Session {
 		Magic:     DefaultMagicNumbers(),
 		ignored:   make(map[stats.ID]bool),
 		overrides: make(map[int]float64),
+		met:       newSessionMetrics(mgr.ObsRegistry()),
 	}
 }
 
 // Manager returns the underlying statistics manager.
 func (s *Session) Manager() *stats.Manager { return s.mgr }
+
+// Obs returns the registry the session's optimizer metrics go to (the
+// manager's registry at session creation time).
+func (s *Session) Obs() *obs.Registry { return s.met.reg }
 
 // SetPlanCache attaches a plan cache (nil detaches). Shared caches are safe:
 // the cache key embeds every session-specific optimizer input.
@@ -59,6 +90,7 @@ func (s *Session) Clone() *Session {
 		ignored:   make(map[stats.ID]bool),
 		overrides: make(map[int]float64),
 		cache:     s.cache,
+		met:       s.met,
 	}
 }
 

@@ -70,27 +70,32 @@ func (op CmpOp) String() string {
 func (op CmpOp) IsRange() bool { return op == Lt || op == Le || op == Gt || op == Ge }
 
 // Eval applies the comparison to two datums with SQL NULL semantics
-// (NULL never satisfies a predicate).
-func (op CmpOp) Eval(a, b catalog.Datum) bool {
+// (NULL never satisfies a predicate). Comparing incompatible types — e.g. a
+// string literal against an integer column — returns an error rather than a
+// silent verdict so the executor can fail the query.
+func (op CmpOp) Eval(a, b catalog.Datum) (bool, error) {
 	if a.Null || b.Null {
-		return false
+		return false, nil
 	}
-	c := a.Compare(b)
+	c, err := a.TryCompare(b)
+	if err != nil {
+		return false, err
+	}
 	switch op {
 	case Eq:
-		return c == 0
+		return c == 0, nil
 	case Ne:
-		return c != 0
+		return c != 0, nil
 	case Lt:
-		return c < 0
+		return c < 0, nil
 	case Le:
-		return c <= 0
+		return c <= 0, nil
 	case Gt:
-		return c > 0
+		return c > 0, nil
 	case Ge:
-		return c >= 0
+		return c >= 0, nil
 	default:
-		return false
+		return false, fmt.Errorf("query: unknown comparison operator %d", int(op))
 	}
 }
 

@@ -21,7 +21,11 @@ func TestCmpOpEval(t *testing.T) {
 		{Ge, three, three, true}, {Ge, three, five, false},
 	}
 	for _, c := range cases {
-		if got := c.op.Eval(c.a, c.b); got != c.want {
+		got, err := c.op.Eval(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v %s %v: %v", c.a, c.op, c.b, err)
+		}
+		if got != c.want {
 			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
 		}
 	}
@@ -30,9 +34,29 @@ func TestCmpOpEval(t *testing.T) {
 func TestCmpOpNullSemantics(t *testing.T) {
 	n := catalog.NewNull(catalog.Int)
 	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
-		if op.Eval(n, catalog.NewInt(1)) || op.Eval(catalog.NewInt(1), n) {
+		a, err := op.Eval(n, catalog.NewInt(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := op.Eval(catalog.NewInt(1), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a || b {
 			t.Errorf("%s with NULL must be false", op)
 		}
+	}
+}
+
+func TestCmpOpEvalIncompatibleTypes(t *testing.T) {
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		if _, err := op.Eval(catalog.NewString("x"), catalog.NewInt(1)); err == nil {
+			t.Errorf("%s on string vs int: want error, got nil", op)
+		}
+	}
+	// Int/float cross-comparison stays legal.
+	if got, err := Lt.Eval(catalog.NewInt(1), catalog.NewFloat(1.5)); err != nil || !got {
+		t.Errorf("1 < 1.5 = %v, %v; want true, nil", got, err)
 	}
 }
 

@@ -552,12 +552,18 @@ func (p *parser) columnType(ref query.ColumnRef) (catalog.Type, error) {
 	return col.Type, nil
 }
 
-// parseLiteral reads a literal and coerces it to the column type.
+// parseLiteral reads a literal and coerces it to the column type. A literal
+// whose type cannot compare with the column type (e.g. a quoted string
+// against an INT column) is rejected here so the mismatch surfaces as a
+// parse error instead of failing row-by-row at execution time.
 func (p *parser) parseLiteral(want catalog.Type) (catalog.Datum, error) {
 	t := p.peek()
 	switch {
 	case t.kind == tokNumber:
 		p.next()
+		if want == catalog.String {
+			return catalog.Datum{}, fmt.Errorf("sqlparser: numeric literal %q cannot compare with a VARCHAR column at %d", t.text, t.pos)
+		}
 		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
@@ -582,8 +588,14 @@ func (p *parser) parseLiteral(want catalog.Type) (catalog.Datum, error) {
 		}
 	case t.kind == tokString:
 		p.next()
+		if want != catalog.String {
+			return catalog.Datum{}, fmt.Errorf("sqlparser: string literal %q cannot compare with a %s column at %d", t.text, want, t.pos)
+		}
 		return catalog.NewString(t.text), nil
 	case t.kind == tokIdent && strings.EqualFold(t.text, "DATE"):
+		if want != catalog.Date {
+			return catalog.Datum{}, fmt.Errorf("sqlparser: DATE literal cannot compare with a %s column at %d", want, t.pos)
+		}
 		p.next()
 		n := p.next()
 		if n.kind != tokNumber {

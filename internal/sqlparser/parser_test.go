@@ -189,6 +189,33 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseRejectsIncompatibleLiterals(t *testing.T) {
+	s := schema(t)
+	for _, bad := range []string{
+		"SELECT * FROM orders WHERE o_orderkey = 'x'",       // string vs INT
+		"SELECT * FROM nation WHERE n_name = 7",             // number vs VARCHAR
+		"SELECT * FROM orders WHERE o_orderdate = 'x'",      // string vs DATE
+		"SELECT * FROM orders WHERE o_orderkey = DATE 100",  // DATE vs INT
+		"SELECT * FROM nation WHERE n_name BETWEEN 1 AND 2", // numeric BETWEEN on VARCHAR
+		"SELECT o_custkey FROM orders GROUP BY o_custkey HAVING COUNT(*) > 'x'",
+	} {
+		if _, err := Parse(s, bad); err == nil {
+			t.Errorf("expected literal-type error for %q", bad)
+		}
+	}
+	// Cross-numeric coercion must stay legal.
+	for _, good := range []string{
+		"SELECT * FROM orders WHERE o_totalprice > 100", // int literal, FLOAT column
+		"SELECT * FROM orders WHERE o_orderkey < 10.5",  // float literal, INT column
+		"SELECT * FROM orders WHERE o_orderdate = 8035", // bare number, DATE column
+		"SELECT * FROM orders WHERE o_orderdate = DATE 8035",
+	} {
+		if _, err := Parse(s, good); err != nil {
+			t.Errorf("parse %q: %v", good, err)
+		}
+	}
+}
+
 func TestParseSelectRejectsDML(t *testing.T) {
 	if _, err := ParseSelect(schema(t), "DELETE FROM region"); err == nil {
 		t.Error("ParseSelect must reject DML")

@@ -1,5 +1,7 @@
 package stats
 
+import "time"
+
 // MaintenancePolicy captures the SQL Server 7.0 auto-statistics maintenance
 // policy described in §2 and §6: statistics on a table are refreshed when
 // the rows modified since the last refresh exceed a fraction of the table
@@ -35,9 +37,17 @@ type MaintenanceReport struct {
 // RunMaintenance applies the policy once across all tables: refreshes
 // statistics on tables whose modification counter exceeds the threshold,
 // then drops over-updated statistics per the policy.
+//
+// UpdateCostUnits in the report is the cost charged by this pass alone: each
+// table refresh returns the units it charged under the manager lock and the
+// pass sums them, so refreshes issued concurrently by other goroutines are
+// never misattributed to this pass (diffing the global TotalUpdateCost
+// before/after would fold them in).
 func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error) {
+	reg := m.ObsRegistry()
+	start := time.Now()
+	sp := reg.StartSpan("stats.maintenance", nil)
 	var rep MaintenanceReport
-	costBefore := m.Snapshot().TotalUpdateCost
 	for _, table := range m.db.Schema.TableNames() {
 		td, err := m.db.Table(table)
 		if err != nil {
@@ -48,7 +58,8 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 		if rows == 0 || float64(td.ModCounter()) <= threshold {
 			continue
 		}
-		n, err := m.RefreshTable(table)
+		n, cost, err := m.refreshTableCost(table)
+		rep.UpdateCostUnits += cost
 		if err != nil {
 			return rep, err
 		}
@@ -70,6 +81,17 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 			}
 		}
 	}
-	rep.UpdateCostUnits = m.Snapshot().TotalUpdateCost - costBefore
+	reg.Counter("stats.maintenance.passes").Inc()
+	reg.Counter("stats.maintenance.tables_refreshed").Add(int64(rep.TablesRefreshed))
+	reg.Counter("stats.maintenance.stats_refreshed").Add(int64(rep.StatsRefreshed))
+	reg.Counter("stats.maintenance.stats_dropped").Add(int64(rep.StatsDropped))
+	reg.FloatCounter("stats.maintenance.update_cost_units").Add(rep.UpdateCostUnits)
+	reg.Timing("stats.maintenance.latency").Observe(time.Since(start))
+	sp.End(map[string]any{
+		"tables_refreshed": rep.TablesRefreshed,
+		"stats_refreshed":  rep.StatsRefreshed,
+		"stats_dropped":    rep.StatsDropped,
+		"update_cost":      rep.UpdateCostUnits,
+	})
 	return rep, nil
 }

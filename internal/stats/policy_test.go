@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+	"autostats/internal/storage"
+)
+
+// maintDB builds a database with two tables so a maintenance pass over one
+// can run while another goroutine refreshes the other.
+func maintDB(t *testing.T) *storage.Database {
+	t.Helper()
+	schema := catalog.NewSchema()
+	for _, name := range []string{"hot", "cold"} {
+		if err := schema.AddTable(catalog.NewTable(name,
+			catalog.Column{Name: "v", Type: catalog.Int},
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := storage.NewDatabase("maint", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hot", "cold"} {
+		td := mustTable(t, db, name)
+		for i := 0; i < 100; i++ {
+			if err := td.Insert(storage.Row{catalog.NewInt(int64(i % 7))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		td.ResetModCounter()
+	}
+	return db
+}
+
+// TestMaintenanceReportCost: UpdateCostUnits must equal exactly the build
+// cost of the statistics the pass itself refreshed.
+func TestMaintenanceReportCost(t *testing.T) {
+	db := maintDB(t)
+	m := NewManager(db, histogram.MaxDiff, 0)
+	if _, err := m.Create("hot", []string{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	td := mustTable(t, db, "hot")
+	for i := 0; i < 50; i++ {
+		if err := td.Insert(storage.Row{catalog.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.RunMaintenance(MaintenancePolicy{UpdateFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TablesRefreshed != 1 || rep.StatsRefreshed != 1 {
+		t.Fatalf("report = %+v, want 1 table / 1 stat refreshed", rep)
+	}
+	want := histogram.BuildCostUnits(int64(td.RowCount()), 1)
+	if rep.UpdateCostUnits != want {
+		t.Errorf("UpdateCostUnits = %v, want %v", rep.UpdateCostUnits, want)
+	}
+}
+
+// TestMaintenanceCostUnderConcurrentRefresh: a maintenance pass must report
+// only its own refresh cost even while another goroutine hammers RefreshTable
+// on a different table. The old implementation diffed the manager-wide
+// TotalUpdateCost around the pass, so the concurrent refreshes leaked into
+// the report.
+func TestMaintenanceCostUnderConcurrentRefresh(t *testing.T) {
+	db := maintDB(t)
+	m := NewManager(db, histogram.MaxDiff, 0)
+	for _, tbl := range []string{"hot", "cold"} {
+		if _, err := m.Create(tbl, []string{"v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dirty only "hot": the pass must refresh hot and leave cold alone.
+	hot := mustTable(t, db, "hot")
+	for i := 0; i < 50; i++ {
+		if err := hot.Insert(storage.Row{catalog.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.RefreshTable("cold"); err != nil {
+				t.Errorf("concurrent refresh: %v", err)
+				return
+			}
+		}
+	}()
+
+	var passCost float64
+	for i := 0; i < 5; i++ {
+		rep, err := m.RunMaintenance(MaintenancePolicy{UpdateFraction: 0.2})
+		if err != nil {
+			close(stop)
+			t.Fatal(err)
+		}
+		passCost += rep.UpdateCostUnits
+	}
+	close(stop)
+	wg.Wait()
+	// One more refresh outside the passes so the overcount check below cannot
+	// depend on goroutine scheduling.
+	if _, err := m.RefreshTable("cold"); err != nil {
+		t.Fatal(err)
+	}
+
+	// RefreshTable resets the mod counter, so only the first pass refreshes
+	// hot; its cost is exactly one rebuild of hot(v) at the current row count.
+	want := histogram.BuildCostUnits(int64(hot.RowCount()), 1)
+	if passCost != want {
+		t.Errorf("maintenance passes charged %v, want %v (concurrent refreshes must not leak in)", passCost, want)
+	}
+	// Sanity: the concurrent refreshes really did land on the global counter,
+	// i.e. the old diff-the-global approach would have overcounted.
+	if got := m.Snapshot().TotalUpdateCost; got <= want {
+		t.Errorf("TotalUpdateCost = %v, expected concurrent refreshes beyond %v", got, want)
+	}
+}

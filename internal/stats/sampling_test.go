@@ -49,7 +49,7 @@ func TestSampledBuildCheaperAndScaled(t *testing.T) {
 		t.Errorf("sampled build cost %v should be far below full %v", ss.BuildCost, fs.BuildCost)
 	}
 	// Row totals scale back to the table cardinality (±1% rounding).
-	n := float64(db.MustTable("lineitem").RowCount())
+	n := float64(mustTable(t, db, "lineitem").RowCount())
 	if got := float64(ss.Data.Leading.TotalRows()); math.Abs(got-n)/n > 0.02 {
 		t.Errorf("scaled rows %v, want ≈%v", got, n)
 	}

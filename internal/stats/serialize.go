@@ -145,6 +145,6 @@ func (m *Manager) Load(r io.Reader) error {
 		}
 	}
 	m.stats = loaded
-	m.epoch++
+	m.bumpEpochLocked()
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"autostats/internal/histogram"
+	"autostats/internal/obs"
 	"autostats/internal/storage"
 )
 
@@ -106,6 +107,46 @@ type Manager struct {
 	TotalUpdateCost float64
 	BuildCount      int
 	UpdateOpCount   int
+
+	// met caches the manager's observability handles; see managerMetrics.
+	met managerMetrics
+}
+
+// managerMetrics caches the manager's metric handles so hot paths hit the
+// atomics directly instead of re-looking names up in the registry. Counters
+// mirror the cumulative accounting fields one-for-one (stats.builds =
+// BuildCount, stats.build.cost_units = TotalBuildCost, ...) so experiment
+// tables derived from either source reconcile.
+type managerMetrics struct {
+	reg           *obs.Registry
+	builds        *obs.Counter
+	resurrections *obs.Counter
+	drops         *obs.Counter
+	refreshes     *obs.Counter
+	droplistAdds  *obs.Counter
+	droplistRems  *obs.Counter
+	buildUnits    *obs.FloatCounter
+	updateUnits   *obs.FloatCounter
+	statCount     *obs.Gauge
+	epoch         *obs.Gauge
+	buildLatency  *obs.Timing
+}
+
+func newManagerMetrics(reg *obs.Registry) managerMetrics {
+	return managerMetrics{
+		reg:           reg,
+		builds:        reg.Counter("stats.builds"),
+		resurrections: reg.Counter("stats.resurrections"),
+		drops:         reg.Counter("stats.drops"),
+		refreshes:     reg.Counter("stats.refreshes"),
+		droplistAdds:  reg.Counter("stats.droplist.adds"),
+		droplistRems:  reg.Counter("stats.droplist.removes"),
+		buildUnits:    reg.FloatCounter("stats.build.cost_units"),
+		updateUnits:   reg.FloatCounter("stats.update.cost_units"),
+		statCount:     reg.Gauge("stats.count"),
+		epoch:         reg.Gauge("stats.epoch"),
+		buildLatency:  reg.Timing("stats.build.latency"),
+	}
 }
 
 // NewManager creates a statistics manager over db using the given histogram
@@ -117,11 +158,35 @@ func NewManager(db *storage.Database, kind histogram.Kind, maxBuckets int) *Mana
 		maxBuckets: maxBuckets,
 		stats:      make(map[ID]*Statistic),
 		droppedAt:  make(map[ID]int64),
+		met:        newManagerMetrics(obs.Default),
 	}
 }
 
 // Database returns the managed database.
 func (m *Manager) Database() *storage.Database { return m.db }
+
+// SetObsRegistry redirects the manager's metrics to reg (obs.Default at
+// construction). Call it before sharing the manager across goroutines.
+func (m *Manager) SetObsRegistry(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = newManagerMetrics(reg)
+}
+
+// ObsRegistry returns the registry the manager's metrics go to.
+func (m *Manager) ObsRegistry() *obs.Registry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.met.reg
+}
+
+// bumpEpochLocked advances the statistics epoch and publishes it, along with
+// the visible statistic count, to the metrics registry. Callers must hold mu.
+func (m *Manager) bumpEpochLocked() {
+	m.epoch++
+	m.met.epoch.Set(int64(m.epoch))
+	m.met.statCount.Set(int64(len(m.stats)))
+}
 
 // Epoch returns the statistics epoch: a counter bumped by every observable
 // mutation (Create, Drop, Refresh, drop-list changes, Load, DropAll). Two
@@ -238,28 +303,42 @@ func (m *Manager) DropListIDs() []ID {
 // Concurrent Create calls for the same ID are serialized; the second call
 // returns the statistic the first one built.
 func (m *Manager) Create(table string, cols []string) (*Statistic, error) {
+	s, _, err := m.Ensure(table, cols)
+	return s, err
+}
+
+// Ensure is Create that also reports whether this call physically built the
+// statistic — false when it already existed or was merely resurrected from
+// the drop-list. Callers that attribute build cost (MNSA's units-consumed
+// accounting) need the distinction; Create callers don't.
+func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) {
 	id := MakeID(table, cols)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if s := m.stats[id]; s != nil {
 		if s.InDropList {
 			s.InDropList = false
-			m.epoch++
+			m.met.resurrections.Inc()
+			m.met.droplistRems.Inc()
+			m.bumpEpochLocked()
 		}
-		return s, nil
+		return s, false, nil
 	}
 	s, err := m.buildLocked(table, cols)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// Creation accounting is charged here, NOT in buildLocked: refreshes
 	// reuse the build path but must charge only the update-side counters.
 	m.TotalBuildCost += s.BuildCost
 	m.TotalBuildTime += s.BuildTime
 	m.BuildCount++
+	m.met.builds.Inc()
+	m.met.buildUnits.Add(s.BuildCost)
+	m.met.buildLatency.Observe(s.BuildTime)
 	m.stats[id] = s
-	m.epoch++
-	return s, nil
+	m.bumpEpochLocked()
+	return s, true, nil
 }
 
 // buildLocked constructs a fresh Statistic from current data. It bumps the
@@ -323,7 +402,8 @@ func (m *Manager) dropLocked(id ID) bool {
 	delete(m.stats, id)
 	m.clock++
 	m.droppedAt[id] = m.clock
-	m.epoch++
+	m.met.drops.Inc()
+	m.bumpEpochLocked()
 	return true
 }
 
@@ -337,7 +417,8 @@ func (m *Manager) AddToDropList(id ID) bool {
 	}
 	if !s.InDropList {
 		s.InDropList = true
-		m.epoch++
+		m.met.droplistAdds.Inc()
+		m.bumpEpochLocked()
 	}
 	return true
 }
@@ -352,7 +433,8 @@ func (m *Manager) RemoveFromDropList(id ID) bool {
 	}
 	if s.InDropList {
 		s.InDropList = false
-		m.epoch++
+		m.met.droplistRems.Inc()
+		m.bumpEpochLocked()
 	}
 	return true
 }
@@ -392,20 +474,26 @@ func (m *Manager) RecentlyDropped(id ID) bool {
 func (m *Manager) Refresh(id ID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.refreshLocked(id)
+	_, err := m.refreshLocked(id)
+	return err
 }
 
-func (m *Manager) refreshLocked(id ID) error {
+// refreshLocked rebuilds one statistic and returns the update cost this call
+// charged (0 when the statistic is drop-listed and skipped). Callers must
+// hold mu. Returning the cost lets maintenance passes attribute exactly their
+// own work instead of diffing the global counters, which would fold in
+// concurrent refreshes.
+func (m *Manager) refreshLocked(id ID) (float64, error) {
 	s := m.stats[id]
 	if s == nil {
-		return fmt.Errorf("stats: unknown statistic %s", id)
+		return 0, fmt.Errorf("stats: unknown statistic %s", id)
 	}
 	if s.InDropList {
-		return nil
+		return 0, nil
 	}
 	fresh, err := m.buildLocked(s.Table, s.Columns)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fresh.CreatedAt = s.CreatedAt
 	fresh.UpdatedAt = m.clock
@@ -414,30 +502,43 @@ func (m *Manager) refreshLocked(id ID) error {
 	m.stats[id] = fresh
 	m.TotalUpdateCost += fresh.BuildCost
 	m.UpdateOpCount++
-	m.epoch++
-	return nil
+	m.met.refreshes.Inc()
+	m.met.updateUnits.Add(fresh.BuildCost)
+	m.bumpEpochLocked()
+	return fresh.BuildCost, nil
 }
 
 // RefreshTable refreshes every maintained statistic on the table and resets
 // its modification counter. Returns the number refreshed.
 func (m *Manager) RefreshTable(table string) (int, error) {
+	n, _, err := m.refreshTableCost(table)
+	return n, err
+}
+
+// refreshTableCost is RefreshTable plus the update cost charged by this call
+// alone, so a maintenance pass can report its own cost even while other
+// goroutines refresh concurrently.
+func (m *Manager) refreshTableCost(table string) (int, float64, error) {
 	table = strings.ToLower(table)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
+	var cost float64
 	for _, s := range m.allLocked() {
 		if s.Table != table || s.InDropList {
 			continue
 		}
-		if err := m.refreshLocked(s.ID); err != nil {
-			return n, err
+		c, err := m.refreshLocked(s.ID)
+		if err != nil {
+			return n, cost, err
 		}
+		cost += c
 		n++
 	}
 	if td, err := m.db.Table(table); err == nil {
 		td.ResetModCounter()
 	}
-	return n, nil
+	return n, cost, nil
 }
 
 // MaintenanceCostUnits returns the work units one full refresh cycle of all
@@ -539,5 +640,5 @@ func (m *Manager) DropAll() {
 	defer m.mu.Unlock()
 	m.stats = make(map[ID]*Statistic)
 	m.droppedAt = make(map[ID]int64)
-	m.epoch++
+	m.bumpEpochLocked()
 }

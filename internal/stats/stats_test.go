@@ -21,7 +21,7 @@ func testDB(t *testing.T) *storage.Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	td := db.MustTable("t")
+	td := mustTable(t, db, "t")
 	for i := 0; i < 100; i++ {
 		if err := td.Insert(storage.Row{catalog.NewInt(int64(i % 10)), catalog.NewInt(int64(i % 4))}); err != nil {
 			t.Fatal(err)
@@ -272,7 +272,7 @@ func TestMaintenancePolicy(t *testing.T) {
 	}
 
 	// Cross the modification threshold.
-	td := db.MustTable("t")
+	td := mustTable(t, db, "t")
 	for i := 0; i < 40; i++ {
 		_ = td.Insert(storage.Row{catalog.NewInt(1), catalog.NewInt(1)})
 	}

@@ -44,15 +44,6 @@ func (db *Database) Table(name string) (*TableData, error) {
 	return td, nil
 }
 
-// MustTable is Table for callers that have already validated the name.
-func (db *Database) MustTable(name string) *TableData {
-	td, err := db.Table(name)
-	if err != nil {
-		panic(err)
-	}
-	return td
-}
-
 // TotalRows returns the number of live rows across all tables.
 func (db *Database) TotalRows() int {
 	n := 0

@@ -157,9 +157,12 @@ func (g *generator) sample(table, column string) catalog.Datum {
 	key := strings.ToLower(table) + "." + strings.ToLower(column)
 	vals, ok := g.colValues[key]
 	if !ok {
-		vs, err := g.db.MustTable(table).ColumnValues(column)
-		if err != nil {
-			vs = nil
+		var vs []catalog.Datum
+		if td, err := g.db.Table(table); err == nil {
+			vs, err = td.ColumnValues(column)
+			if err != nil {
+				vs = nil
+			}
 		}
 		g.colValues[key] = vs
 		vals = vs

@@ -198,7 +198,7 @@ func TestPredicateConstantsComeFromData(t *testing.T) {
 			if f.Op != query.Eq {
 				continue
 			}
-			vals, err := db.MustTable(f.Col.Table).ColumnValues(f.Col.Column)
+			vals, err := mustTable(t, db, f.Col.Table).ColumnValues(f.Col.Column)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,62 @@
+package autostats
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// panicAllowlist maps files permitted to call panic to the number of calls
+// they may contain. internal/datagen/schema.go panics only while building
+// the static TPC-D schema from literals — a programming error, not a data
+// error — and predates the no-panic policy.
+var panicAllowlist = map[string]int{
+	filepath.Join("internal", "datagen", "schema.go"): 3,
+}
+
+// TestNoPanicsInLibraryCode enforces the repo policy that library code under
+// internal/ returns errors instead of panicking: a panic in the optimizer or
+// statistics manager takes down the host process, while an error surfaces as
+// a failed query. Test files are exempt, as are the allowlisted legacy calls.
+func TestNoPanicsInLibraryCode(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, 0)
+		if err != nil {
+			return err
+		}
+		count := 0
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				count++
+				if count > panicAllowlist[path] {
+					t.Errorf("%s: panic call at %s — library code must return an error", path, fset.Position(call.Pos()))
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,6 +111,16 @@ func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneRe
 	s.mgr.ResetAccounting()
 	cfg := opts.config()
 	rep := &TuneReport{}
+	sp := s.sess.Obs().StartSpan("tune.workload", map[string]any{
+		"queries": len(queries), "shrink": opts.Shrink, "parallelism": opts.Parallelism,
+	})
+	defer func() {
+		sp.End(map[string]any{
+			"created":         len(rep.Created),
+			"drop_listed":     len(rep.DropListed),
+			"optimizer_calls": rep.OptimizerCalls,
+		})
+	}()
 	if opts.Shrink {
 		tr, err := core.OfflineTuneParallel(s.sess, queries, cfg, nil, opts.Parallelism)
 		if err != nil {
