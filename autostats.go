@@ -35,6 +35,7 @@ import (
 	"autostats/internal/core"
 	"autostats/internal/datagen"
 	"autostats/internal/executor"
+	"autostats/internal/feedback"
 	"autostats/internal/histogram"
 	"autostats/internal/obs"
 	"autostats/internal/optimizer"
@@ -57,6 +58,8 @@ type System struct {
 	ex    *executor.Executor
 	auto  *core.AutoManager
 	cache *optimizer.PlanCache
+	fb    *feedback.Ledger
+	maint stats.MaintenancePolicy
 }
 
 // DefaultPlanCacheCapacity is the plan cache size a new System starts with.
@@ -107,7 +110,12 @@ func newSystem(db *storage.Database, kind histogram.Kind, buckets int) *System {
 	cache := optimizer.NewPlanCache(DefaultPlanCacheCapacity)
 	sess.SetPlanCache(cache)
 	ex := executor.New(db)
-	return &System{db: db, mgr: mgr, sess: sess, ex: ex, auto: core.NewAutoManager(sess, ex), cache: cache}
+	return &System{
+		db: db, mgr: mgr, sess: sess, ex: ex,
+		auto:  core.NewAutoManager(sess, ex),
+		cache: cache,
+		maint: stats.DefaultMaintenancePolicy(),
+	}
 }
 
 // SetPlanCacheCapacity replaces the plan cache with one holding up to n

@@ -7,8 +7,13 @@
 //	experiments -exp all
 //	experiments -exp fig4 -workload U0-C-100 -scale 0.5 -seed 1
 //
-// Experiments: intro, fig3, fig4, fig4sc, table1, ablation-t, ablation-eps,
-// ablation-next, all.
+// Experiments: intro, fig3, fig4, fig4sc, table1, parallel, feedback,
+// ablation-t, ablation-eps, ablation-next, all.
+//
+// -feedback runs the execution-feedback experiment in addition to whatever
+// -exp selects; -benchjson writes the PR-3 machine-readable benchmark bundle
+// (serial vs parallel tuning, plan-cache hit rate, feedback demo + capture
+// overhead) to the given path, e.g. BENCH_PR3.json.
 package main
 
 import (
@@ -26,8 +31,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|feedback|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
 		parallel = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+		feedback = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
+		benchOut = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
 		scale    = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		wl       = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
@@ -53,7 +60,8 @@ func main() {
 
 	dbList := strings.Split(*dbs, ",")
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		forced := name == "feedback" && *feedback
+		if *exp != "all" && *exp != name && !forced {
 			return
 		}
 		if err := fn(); err != nil {
@@ -74,6 +82,15 @@ func main() {
 	run("ablation-cov", func() error { return runAblationCov(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-hist", func() error { return runAblationHist(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("ablation-sample", func() error { return runAblationSample(orDefault(*wl, "U0-C-60"), *scale, *seed) })
+	run("feedback", func() error { return runFeedback(*scale) })
+
+	if *benchOut != "" {
+		if err := writeBenchJSON(*benchOut, orDefault(*wl, "U0-C-100"), *scale, *seed, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark bundle written to %s\n", *benchOut)
+	}
 
 	if *metrics {
 		fmt.Printf("\nmetrics:\n")
@@ -257,4 +274,43 @@ func runAblationSample(wl string, scale float64, seed int64) error {
 	}
 	printAblation(rows)
 	return nil
+}
+
+func runFeedback(scale float64) error {
+	header(fmt.Sprintf("Execution feedback — stale statistic corrected by q-error evidence — TPCD_2, scale %.2f", scale))
+	row, err := bench.FeedbackDemo(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("skew shift rewrote %.1f%% of lineitem (counter threshold 20%%)\n", row.ModifiedPct)
+	fmt.Printf("stale estimate %.1f rows vs actual %d  =>  q-error %.1f\n", row.EstBefore, row.ActualRows, row.QErrBefore)
+	fmt.Printf("maintenance: counter refreshed %d tables, feedback refreshed %d statistics\n",
+		row.CounterRefreshes, row.FeedbackRefreshes)
+	fmt.Printf("post-refresh q-error %.2f, plan changed: %v\n", row.QErrAfter, row.PlanChanged)
+	fmt.Printf("  before: %s\n  after:  %s\n", row.PlanBefore, row.PlanAfter)
+
+	over, err := bench.FeedbackOverhead(scale, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capture overhead: %d runs, off %v / on %v (%.1f%%), %d observations\n",
+		over.QueriesRun, over.OffWall.Round(time.Microsecond), over.OnWall.Round(time.Microsecond),
+		over.OverheadPct, over.Observations)
+	return nil
+}
+
+func writeBenchJSON(path, wl string, scale float64, seed int64, parallelism int) error {
+	s, err := bench.RunPR3(wl, scale, seed, parallelism, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

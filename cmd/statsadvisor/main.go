@@ -22,6 +22,7 @@ import (
 	"autostats/internal/core"
 	"autostats/internal/datagen"
 	"autostats/internal/executor"
+	"autostats/internal/feedback"
 	"autostats/internal/histogram"
 	"autostats/internal/obs"
 	"autostats/internal/optimizer"
@@ -44,6 +45,7 @@ func main() {
 		single   = flag.Bool("single-column", false, "consider only single-column candidate statistics")
 		parallel = flag.Int("parallel", 1, "worker sessions for mnsa/mnsad/offline tuning (<=1 = serial)")
 		cacheCap = flag.Int("plan-cache", 1024, "plan cache capacity (0 disables)")
+		useFB    = flag.Bool("feedback", false, "capture actual cardinalities during workload execution, apply learned selectivity corrections, and run a feedback-aware maintenance pass")
 		verbose  = flag.Bool("verbose", false, "per-query detail")
 		saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
 		loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
@@ -91,6 +93,12 @@ func main() {
 	sess := optimizer.NewSession(mgr)
 	cache := optimizer.NewPlanCache(*cacheCap)
 	sess.SetPlanCache(cache)
+	var led *feedback.Ledger
+	if *useFB {
+		led = feedback.NewLedger(feedback.ManagerVersions(mgr), feedback.Config{})
+		sess.SetCorrections(led)
+		mgr.SetFeedbackProvider(led)
+	}
 	cfg := core.DefaultConfig()
 	cfg.T = *tPct
 	cfg.Epsilon = *eps
@@ -157,6 +165,9 @@ func main() {
 
 	// Execute the workload under the recommendation and report cost.
 	ex := executor.New(db)
+	if led != nil {
+		ex.SetFeedback(led)
+	}
 	total := 0.0
 	for _, stmt := range w.Statements {
 		res, err := ex.RunStatement(sess, stmt)
@@ -166,6 +177,26 @@ func main() {
 		total += res.Cost
 	}
 	fmt.Printf("workload execution cost under recommendation: %.0f units\n", total)
+
+	if led != nil {
+		ls := led.Stats()
+		fmt.Printf("\nfeedback ledger: %d entries, %d observations, %d evictions, %d corrections applied\n",
+			ls.Entries, ls.Observations, ls.Evictions, ls.CorrectionHits)
+		worst := led.Entries()
+		if len(worst) > 5 {
+			worst = worst[:5]
+		}
+		for _, e := range worst {
+			fmt.Printf("  %s(%s) [%s]: %d obs, max q-error %.2f, last est %.1f vs actual %d\n",
+				e.Key.Table, e.Key.Columns, e.Key.Signature, e.Count, e.MaxQ, e.LastEst, e.LastActual)
+		}
+		rep, err := mgr.RunMaintenance(stats.DefaultFeedbackPolicy())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("feedback maintenance: %d counter-refreshed tables, %d feedback-refreshed statistics, %d drops confirmed\n",
+			rep.TablesRefreshed, rep.StatsFeedbackRefreshed, rep.StatsDropConfirmed)
+	}
 
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestFeedbackDemoEndToEnd is the PR-3 acceptance test: a deliberately
+// stale statistic produces a q-error above the maintenance threshold, the
+// feedback path refreshes it while the row-mod counter stays silent, and the
+// post-refresh q-error collapses.
+func TestFeedbackDemoEndToEnd(t *testing.T) {
+	row, err := FeedbackDemo(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", row)
+	if row.ModifiedPct <= 0 || row.ModifiedPct >= 20 {
+		t.Fatalf("skew shift rewrote %.1f%% of rows; demo needs 0%% < pct < 20%% to keep the counter silent", row.ModifiedPct)
+	}
+	if row.QErrBefore <= 2 {
+		t.Errorf("stale-stat q-error = %.2f, want > maintenance threshold 2", row.QErrBefore)
+	}
+	if row.CounterRefreshes != 0 {
+		t.Errorf("row-mod counter fired (%d tables); the demo must trigger on feedback alone", row.CounterRefreshes)
+	}
+	if row.FeedbackRefreshes < 1 {
+		t.Errorf("feedback refreshes = %d, want >= 1", row.FeedbackRefreshes)
+	}
+	if row.QErrAfter >= row.QErrBefore/2 {
+		t.Errorf("post-refresh q-error = %.2f, want well below the stale %.2f", row.QErrAfter, row.QErrBefore)
+	}
+	if !row.PlanChanged {
+		t.Error("expected the refreshed histogram to change the join plan")
+	}
+}
+
+// TestFeedbackOverheadShape: capture must run (observations flow) and its
+// wall-clock overhead must stay within the PR's 5% budget, with slack for
+// timer noise at test scale.
+func TestFeedbackOverheadShape(t *testing.T) {
+	row, err := FeedbackOverhead(0.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", row)
+	if row.Observations == 0 {
+		t.Error("enabled arm recorded no observations")
+	}
+	if row.OverheadPct > 15 {
+		t.Errorf("feedback capture overhead = %.1f%%, want small (budget 5%%, test tolerance 15%%)", row.OverheadPct)
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PR3Summary is the machine-readable benchmark bundle for the execution-
+// feedback PR: serial-vs-parallel tuning, plan-cache effectiveness, the
+// feedback loop-closing demo, and the capture-overhead measurement.
+// Serialized to BENCH_PR3.json by cmd/experiments -benchjson.
+type PR3Summary struct {
+	Scale            float64
+	Workload         string
+	Parallel         *ParallelRow
+	PlanCacheHitRate float64
+	FeedbackDemo     *FeedbackRow
+	FeedbackOverhead *FeedbackOverheadRow
+}
+
+// RunPR3 gathers the PR-3 benchmark bundle. parallelism <= 0 uses
+// GOMAXPROCS; overheadIters <= 0 uses the FeedbackOverhead default.
+func RunPR3(wlName string, scale float64, seed int64, parallelism, overheadIters int) (*PR3Summary, error) {
+	par, err := Parallel("TPCD_2", wlName, scale, seed, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	demo, err := FeedbackDemo(scale)
+	if err != nil {
+		return nil, err
+	}
+	over, err := FeedbackOverhead(scale, overheadIters)
+	if err != nil {
+		return nil, err
+	}
+	s := &PR3Summary{
+		Scale:            scale,
+		Workload:         wlName,
+		Parallel:         par,
+		FeedbackDemo:     demo,
+		FeedbackOverhead: over,
+	}
+	if total := par.CacheHits + par.CacheMiss; total > 0 {
+		s.PlanCacheHitRate = float64(par.CacheHits) / float64(total)
+	}
+	return s, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR3Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

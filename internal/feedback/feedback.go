@@ -1,0 +1,157 @@
+// Package feedback closes the loop between the executor and the statistics
+// manager: the executor records per-plan-node actual cardinalities, a
+// bounded-memory ledger aggregates them into q-error summaries keyed by
+// (table, column set, predicate signature), and two consumers act on them —
+// the maintenance policy refreshes statistics whose observed q-error exceeds
+// a threshold even when row-modification counters have not fired
+// (stats.FeedbackProvider), and the optimizer applies learned selectivity
+// corrections for previously seen predicate signatures (the Ledger's
+// CorrectSelectivity method).
+//
+// Q-error is max(est, actual) / min(est, actual) with both sides floored at
+// one row: 1.0 means a perfect estimate and the metric is symmetric in over-
+// and under-estimation.
+//
+// Invalidation follows the plan cache's scheme: every observation is stamped
+// with the statistics epoch and storage data version current when its
+// execution started. An entry whose stamp no longer matches is a stale
+// evidence window — it is reset on the next observation, excluded from
+// q-error summaries, and its correction is not applied. A feedback-triggered
+// refresh therefore cannot re-fire on the evidence that caused it: the
+// refresh bumps the epoch, which retires the evidence.
+package feedback
+
+import (
+	"strings"
+
+	"autostats/internal/query"
+)
+
+// QError returns max(est,actual)/min(est,actual) with both sides floored at
+// one row.
+func QError(est, actual float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// Key identifies one feedback ledger entry: the base table, the distinct
+// filter columns (sorted, comma-joined), and the full canonical predicate
+// signature including constants. Two queries that filter the same columns
+// with different constants share (Table, Columns) — the granularity at which
+// per-statistic accuracy is judged — but keep separate signatures, the
+// granularity at which selectivity corrections are learned.
+type Key struct {
+	Table     string
+	Columns   string
+	Signature string
+}
+
+// NodeObservation is one plan operator's estimated-vs-actual row counts from
+// a single execution. Table, Columns and Signature are set only for base
+// table access operators (scan/seek); other operators report counts for
+// accounting and tests but are not absorbed into the ledger.
+type NodeObservation struct {
+	// Op is the plan operator name ("Scan", "HashJoin", ...).
+	Op string
+	// Table is the lower-cased base table for scan/seek operators, "" else.
+	Table string
+	// Columns is the canonical filter column set (query.FilterColumns).
+	Columns string
+	// Signature is the canonical predicate signature (query.FilterSignature).
+	Signature string
+	// EstRows is the optimizer's estimate with any learned correction backed
+	// out — the raw cost-model estimate, so q-errors always measure the
+	// underlying statistics, not the correction layer.
+	EstRows float64
+	// ActualRows is the executor's materialized row count for the node.
+	ActualRows int64
+}
+
+// ScanObservation builds the observation for a base-table access operator
+// from its filter set. It is shared by the executor (recording) so table,
+// column-set and signature canonicalization can never drift from the
+// optimizer's view of the same predicate.
+func ScanObservation(op, table string, filters []query.Filter, estRows float64, actualRows int64) NodeObservation {
+	return NodeObservation{
+		Op:         op,
+		Table:      strings.ToLower(table),
+		Columns:    query.FilterColumns(filters),
+		Signature:  query.FilterSignature(filters),
+		EstRows:    estRows,
+		ActualRows: actualRows,
+	}
+}
+
+// Collector gathers one execution's node observations. It is created per
+// Executor.Run via Ledger.NewCollector (stamping the statistics epoch and
+// data version at execution start) and is not safe for concurrent use — each
+// running query owns its own collector. All methods are nil-safe so the
+// executor's disabled path stays allocation-free: with no ledger attached the
+// collector is nil and Observe/Flush are no-ops.
+type Collector struct {
+	led         *Ledger
+	epoch       uint64
+	dataVersion int64
+	nodes       []NodeObservation
+	// baseRows maps lower-cased table names to the optimizer's raw
+	// pre-correction filtered-row estimate (see SetBaseRows).
+	baseRows map[string]float64
+}
+
+// SetBaseRows installs the plan's raw (pre-correction) base-table row
+// estimates. When the optimizer applied a learned correction to a table's
+// selectivity, the plan node's EstRows reflects the corrected value;
+// RawEstimate backs it out so the ledger always measures the underlying
+// statistics. No-op on a nil collector.
+func (c *Collector) SetBaseRows(m map[string]float64) {
+	if c == nil {
+		return
+	}
+	c.baseRows = m
+}
+
+// RawEstimate returns the raw pre-correction estimate for a base table,
+// falling back to est when no correction was applied.
+func (c *Collector) RawEstimate(table string, est float64) float64 {
+	if c == nil {
+		return est
+	}
+	if v, ok := c.baseRows[strings.ToLower(table)]; ok {
+		return v
+	}
+	return est
+}
+
+// Observe appends one node observation. No-op on a nil collector.
+func (c *Collector) Observe(o NodeObservation) {
+	if c == nil {
+		return
+	}
+	c.nodes = append(c.nodes, o)
+}
+
+// Nodes returns the observations recorded so far, in plan post-order.
+func (c *Collector) Nodes() []NodeObservation {
+	if c == nil {
+		return nil
+	}
+	return c.nodes
+}
+
+// Flush absorbs the collected base-table observations into the ledger.
+// Callers flush only after a successful execution so partial runs never
+// feed the ledger. No-op on a nil collector.
+func (c *Collector) Flush() {
+	if c == nil || c.led == nil {
+		return
+	}
+	c.led.absorb(c)
+}

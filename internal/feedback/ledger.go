@@ -1,0 +1,429 @@
+package feedback
+
+import (
+	"container/list"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+)
+
+// Versioner supplies the current statistics epoch and storage data version —
+// the same pair the optimizer's plan cache keys on. Observations and learned
+// corrections are valid only while both still match the values stamped at
+// execution time.
+type Versioner interface {
+	StatsEpoch() uint64
+	DataVersion() int64
+}
+
+// ManagerVersions adapts a stats.Manager (and its database) into a Versioner.
+func ManagerVersions(m *stats.Manager) Versioner { return managerVersioner{m} }
+
+type managerVersioner struct{ m *stats.Manager }
+
+func (v managerVersioner) StatsEpoch() uint64 { return v.m.Epoch() }
+func (v managerVersioner) DataVersion() int64 { return v.m.Database().DataVersion() }
+
+// zeroVersioner pins both versions to zero: entries never invalidate. Used
+// when no Versioner is supplied (tests, standalone ledgers).
+type zeroVersioner struct{}
+
+func (zeroVersioner) StatsEpoch() uint64 { return 0 }
+func (zeroVersioner) DataVersion() int64 { return 0 }
+
+// DefaultCapacity bounds the ledger when Config.Capacity is zero.
+const DefaultCapacity = 4096
+
+// DefaultMaxCorrection clamps learned selectivity correction factors to
+// [1/DefaultMaxCorrection, DefaultMaxCorrection] when Config.MaxCorrection
+// is zero.
+const DefaultMaxCorrection = 1000
+
+// Config tunes a Ledger. The zero value selects the documented defaults.
+type Config struct {
+	// Capacity bounds the number of ledger entries; the least recently
+	// observed or applied entry is evicted first. <=0 means DefaultCapacity.
+	Capacity int
+	// MinObservations is how many observations an entry needs in its current
+	// evidence window before its correction is applied and its q-error
+	// summary is trusted. <=0 means 1.
+	MinObservations int64
+	// MaxCorrection clamps correction factors. <=0 means DefaultMaxCorrection.
+	MaxCorrection float64
+	// Obs receives the ledger's metrics; nil means obs.Default.
+	Obs *obs.Registry
+}
+
+// ledgerMetrics caches the ledger's observability handles (the interned-
+// handle idiom of managerMetrics and sessionMetrics).
+type ledgerMetrics struct {
+	observations *obs.Counter
+	evictions    *obs.Counter
+	resets       *obs.Counter
+	entries      *obs.Gauge
+	qerror       *obs.Histo
+	corrHits     *obs.Counter
+	corrMisses   *obs.Counter
+}
+
+func newLedgerMetrics(reg *obs.Registry) ledgerMetrics {
+	return ledgerMetrics{
+		observations: reg.Counter("feedback.observations"),
+		evictions:    reg.Counter("feedback.ledger.evictions"),
+		resets:       reg.Counter("feedback.ledger.resets"),
+		entries:      reg.Gauge("feedback.ledger.entries"),
+		qerror:       reg.Histo("feedback.qerror"),
+		corrHits:     reg.Counter("feedback.correction.hits"),
+		corrMisses:   reg.Counter("feedback.correction.misses"),
+	}
+}
+
+// entry is one ledger slot. Aggregates cover a single evidence window: the
+// (epoch, dataVersion) pair stamped on its observations. A stamp mismatch on
+// the next observation resets the window.
+type entry struct {
+	key         Key
+	epoch       uint64
+	dataVersion int64
+	count       int64
+	sumLogQ     float64
+	maxQ        float64
+	// sumLogRatio accumulates ln(actual/est) (both floored at one row) — its
+	// mean exponentiated is the geometric-mean correction factor.
+	sumLogRatio float64
+	lastEst     float64
+	lastActual  int64
+	// quant is the published quantized correction (0 until MinObservations);
+	// a change bumps the ledger version so cached plans re-optimize.
+	quant int
+}
+
+// factor returns the entry's correction factor clamped to [1/max, max].
+func (e *entry) factor(max float64) float64 {
+	if e.count == 0 {
+		return 1
+	}
+	f := math.Exp(e.sumLogRatio / float64(e.count))
+	if f > max {
+		return max
+	}
+	if f < 1/max {
+		return 1 / max
+	}
+	return f
+}
+
+// Ledger is the concurrency-safe execution-feedback store: a bounded LRU of
+// per-(table, column set, predicate signature) q-error and correction
+// aggregates. It implements stats.FeedbackProvider (QErrorSummaries) for the
+// maintenance policy and the optimizer's CorrectionSource (CorrectSelectivity
+// / Version) for the selectivity correction cache.
+type Ledger struct {
+	ver     Versioner
+	minObs  int64
+	maxCorr float64
+	met     ledgerMetrics
+
+	// version bumps whenever any entry's published correction changes, so
+	// plan-cache keys that embed it go stale exactly when estimates would.
+	version atomic.Uint64
+
+	mu           sync.Mutex
+	capacity     int
+	order        *list.List            // front = most recently used
+	entries      map[Key]*list.Element // element value is *entry
+	observations uint64
+	evictions    uint64
+	resets       uint64
+	corrHits     uint64
+	corrMisses   uint64
+}
+
+// NewLedger creates a ledger validated against ver (nil pins both versions to
+// zero, disabling invalidation).
+func NewLedger(ver Versioner, cfg Config) *Ledger {
+	if ver == nil {
+		ver = zeroVersioner{}
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = 1
+	}
+	if cfg.MaxCorrection <= 0 {
+		cfg.MaxCorrection = DefaultMaxCorrection
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Ledger{
+		ver:      ver,
+		minObs:   cfg.MinObservations,
+		maxCorr:  cfg.MaxCorrection,
+		met:      newLedgerMetrics(reg),
+		capacity: cfg.Capacity,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element, cfg.Capacity),
+	}
+}
+
+// NewCollector creates a per-execution collector stamped with the current
+// statistics epoch and data version. Safe on a nil ledger (returns a nil
+// collector, whose methods are all no-ops).
+func (l *Ledger) NewCollector() *Collector {
+	if l == nil {
+		return nil
+	}
+	return &Collector{led: l, epoch: l.ver.StatsEpoch(), dataVersion: l.ver.DataVersion()}
+}
+
+// Version returns the corrections version for plan-cache keying: it changes
+// exactly when some entry's published correction factor changes.
+func (l *Ledger) Version() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.version.Load()
+}
+
+// absorb folds a collector's base-table observations into the ledger.
+func (l *Ledger) absorb(c *Collector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, o := range c.nodes {
+		if o.Table == "" || o.Columns == "" {
+			continue
+		}
+		key := Key{Table: o.Table, Columns: o.Columns, Signature: o.Signature}
+		el, ok := l.entries[key]
+		var e *entry
+		if ok {
+			e = el.Value.(*entry)
+			l.order.MoveToFront(el)
+		} else {
+			if l.order.Len() >= l.capacity {
+				oldest := l.order.Back()
+				if oldest != nil {
+					l.order.Remove(oldest)
+					old := oldest.Value.(*entry)
+					delete(l.entries, old.key)
+					l.evictions++
+					l.met.evictions.Inc()
+					if old.quant != 0 {
+						l.version.Add(1)
+					}
+				}
+			}
+			e = &entry{key: key, epoch: c.epoch, dataVersion: c.dataVersion}
+			l.entries[key] = l.order.PushFront(e)
+		}
+		if e.epoch != c.epoch || e.dataVersion != c.dataVersion {
+			// Stale evidence window: statistics or data changed since the
+			// entry's observations. Start fresh under the new stamp.
+			*e = entry{key: key, epoch: c.epoch, dataVersion: c.dataVersion}
+			l.resets++
+			l.met.resets.Inc()
+		}
+		q := QError(o.EstRows, float64(o.ActualRows))
+		est, act := o.EstRows, float64(o.ActualRows)
+		if est < 1 {
+			est = 1
+		}
+		if act < 1 {
+			act = 1
+		}
+		e.count++
+		e.sumLogQ += math.Log(q)
+		if q > e.maxQ {
+			e.maxQ = q
+		}
+		e.sumLogRatio += math.Log(act / est)
+		e.lastEst = o.EstRows
+		e.lastActual = o.ActualRows
+		l.observations++
+		l.met.observations.Inc()
+		l.met.qerror.Observe(q)
+		quant := 0
+		if e.count >= l.minObs {
+			quant = int(math.Round(math.Log2(e.factor(l.maxCorr)) * 8))
+		}
+		if quant != e.quant {
+			e.quant = quant
+			l.version.Add(1)
+		}
+	}
+	l.met.entries.Set(int64(l.order.Len()))
+}
+
+// CorrectSelectivity returns the learned multiplicative correction for a
+// predicate signature on table, and whether one applies. A correction applies
+// only when its evidence window matches the current statistics epoch and data
+// version and has at least MinObservations observations.
+func (l *Ledger) CorrectSelectivity(table, columns, signature string) (float64, bool) {
+	if l == nil {
+		return 1, false
+	}
+	curEpoch, curVer := l.ver.StatsEpoch(), l.ver.DataVersion()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[Key{Table: strings.ToLower(table), Columns: columns, Signature: signature}]
+	if !ok {
+		l.corrMisses++
+		l.met.corrMisses.Inc()
+		return 1, false
+	}
+	e := el.Value.(*entry)
+	if e.epoch != curEpoch || e.dataVersion != curVer || e.count < l.minObs {
+		l.corrMisses++
+		l.met.corrMisses.Inc()
+		return 1, false
+	}
+	l.order.MoveToFront(el)
+	l.corrHits++
+	l.met.corrHits.Inc()
+	return e.factor(l.maxCorr), true
+}
+
+// QErrorSummaries implements stats.FeedbackProvider: per-(table, column)
+// accuracy over entries whose evidence window matches the current statistics
+// epoch and data version. Multi-column predicates attribute their q-error to
+// every referenced column — evidence of "some statistic here is off", refined
+// by the refresh itself.
+func (l *Ledger) QErrorSummaries() []stats.QErrorSummary {
+	if l == nil {
+		return nil
+	}
+	curEpoch, curVer := l.ver.StatsEpoch(), l.ver.DataVersion()
+	type agg struct {
+		count   int64
+		maxQ    float64
+		sumLogQ float64
+	}
+	l.mu.Lock()
+	byCol := make(map[[2]string]*agg)
+	for _, el := range l.entries {
+		e := el.Value.(*entry)
+		if e.epoch != curEpoch || e.dataVersion != curVer || e.count == 0 {
+			continue
+		}
+		for _, col := range strings.Split(e.key.Columns, ",") {
+			k := [2]string{e.key.Table, col}
+			a := byCol[k]
+			if a == nil {
+				a = &agg{}
+				byCol[k] = a
+			}
+			a.count += e.count
+			a.sumLogQ += e.sumLogQ
+			if e.maxQ > a.maxQ {
+				a.maxQ = e.maxQ
+			}
+		}
+	}
+	l.mu.Unlock()
+	out := make([]stats.QErrorSummary, 0, len(byCol))
+	for k, a := range byCol {
+		out = append(out, stats.QErrorSummary{
+			Table:  k[0],
+			Column: k[1],
+			Count:  a.count,
+			MaxQ:   a.maxQ,
+			MeanQ:  math.Exp(a.sumLogQ / float64(a.count)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// EntrySnapshot is a point-in-time copy of one ledger entry for reporting.
+type EntrySnapshot struct {
+	Key        Key
+	Count      int64
+	MaxQ       float64
+	MeanQ      float64
+	Correction float64
+	LastEst    float64
+	LastActual int64
+	// Current reports whether the entry's evidence window matches the current
+	// statistics epoch and data version.
+	Current bool
+}
+
+// Entries returns every ledger entry, worst current q-error first. Safe on a
+// nil ledger.
+func (l *Ledger) Entries() []EntrySnapshot {
+	if l == nil {
+		return nil
+	}
+	curEpoch, curVer := l.ver.StatsEpoch(), l.ver.DataVersion()
+	l.mu.Lock()
+	out := make([]EntrySnapshot, 0, len(l.entries))
+	for _, el := range l.entries {
+		e := el.Value.(*entry)
+		snap := EntrySnapshot{
+			Key:        e.key,
+			Count:      e.count,
+			MaxQ:       e.maxQ,
+			Correction: e.factor(l.maxCorr),
+			LastEst:    e.lastEst,
+			LastActual: e.lastActual,
+			Current:    e.epoch == curEpoch && e.dataVersion == curVer,
+		}
+		if e.count > 0 {
+			snap.MeanQ = math.Exp(e.sumLogQ / float64(e.count))
+		}
+		out = append(out, snap)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Current != out[j].Current {
+			return out[i].Current
+		}
+		if out[i].MaxQ != out[j].MaxQ {
+			return out[i].MaxQ > out[j].MaxQ
+		}
+		return out[i].Key.Signature < out[j].Key.Signature
+	})
+	return out
+}
+
+// LedgerStats is a snapshot of the ledger's cumulative counters.
+type LedgerStats struct {
+	Entries          int
+	Observations     uint64
+	Evictions        uint64
+	Resets           uint64
+	CorrectionHits   uint64
+	CorrectionMisses uint64
+	Version          uint64
+}
+
+// Stats returns the counter snapshot. Safe on a nil ledger.
+func (l *Ledger) Stats() LedgerStats {
+	if l == nil {
+		return LedgerStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerStats{
+		Entries:          l.order.Len(),
+		Observations:     l.observations,
+		Evictions:        l.evictions,
+		Resets:           l.resets,
+		CorrectionHits:   l.corrHits,
+		CorrectionMisses: l.corrMisses,
+		Version:          l.version.Load(),
+	}
+}

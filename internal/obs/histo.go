@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// histoBuckets is the number of log2 value-histogram buckets: bucket i counts
+// observations of at most 2^i, the last bucket is unbounded (2^19 ≈ 5e5).
+const histoBuckets = 20
+
+// Histo is a histogram over positive float64 values with exact
+// count/sum/min/max and log2 buckets — the value-domain sibling of Timing,
+// used for dimensionless ratios such as cardinality q-errors (q >= 1, so
+// bucket 0 is "estimate within 2x" and each later bucket doubles the error).
+// All fields move together under one mutex so snapshots are internally
+// consistent.
+type Histo struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histoBuckets]int64
+}
+
+// Observe records one value. Negative and NaN values are clamped to 0.
+func (h *Histo) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	idx := 0
+	for x := v; x > 2 && idx < histoBuckets-1; x /= 2 {
+		idx++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[idx]++
+	h.mu.Unlock()
+}
+
+// HistoSnapshot is a consistent point-in-time copy of a Histo.
+type HistoSnapshot struct {
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets [histoBuckets]int64
+}
+
+// Mean returns Sum/Count, or 0 before any observation.
+func (s HistoSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histo) Snapshot() HistoSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistoSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+}
+
+// Histo returns the named value histogram, creating it on first use.
+func (r *Registry) Histo(name string) *Histo {
+	r.mu.RLock()
+	h := r.histos[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histos[name]; h == nil {
+		h = &Histo{}
+		r.histos[name] = h
+	}
+	return h
+}

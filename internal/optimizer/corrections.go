@@ -1,0 +1,38 @@
+package optimizer
+
+// CorrectionSource supplies learned selectivity corrections from execution
+// feedback. The optimizer queries it per filtered base-table access, keyed by
+// the canonical column list and predicate signature of internal/query
+// (FilterColumns / FilterSignature); internal/feedback.Ledger is the
+// production implementation, but the optimizer depends only on this interface
+// so the packages stay decoupled.
+//
+// Implementations must be safe for concurrent use: one source is shared by
+// every session clone.
+type CorrectionSource interface {
+	// CorrectSelectivity returns a multiplicative factor to apply to the
+	// estimated selectivity of the matching filtered table access, and
+	// whether a sufficiently-observed, currently-valid correction exists.
+	// Factors above 1 repair underestimates, below 1 overestimates.
+	CorrectSelectivity(table, columns, signature string) (float64, bool)
+	// Version identifies the current set of published corrections; it
+	// changes whenever any correction materially changes (including
+	// invalidation by a statistics refresh or data change). Plan-cache keys
+	// embed it so cached plans built under stale corrections are not reused.
+	Version() uint64
+}
+
+// SetCorrections attaches a correction source (nil detaches). Like the plan
+// cache, the source is shared by clones; set it before cloning.
+func (s *Session) SetCorrections(c CorrectionSource) { s.corr = c }
+
+// Corrections returns the attached correction source, or nil.
+func (s *Session) Corrections() CorrectionSource { return s.corr }
+
+// corrVersion returns the correction-set version, 0 with no source attached.
+func (s *Session) corrVersion() uint64 {
+	if s.corr == nil {
+		return 0
+	}
+	return s.corr.Version()
+}

@@ -1,0 +1,195 @@
+package optimizer
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/query"
+	"autostats/internal/stats"
+)
+
+// fakeCorrections is a canned CorrectionSource; the production implementation
+// (internal/feedback.Ledger) is covered in its own package.
+type fakeCorrections struct {
+	mu      sync.Mutex
+	factors map[[3]string]float64
+	ver     atomic.Uint64
+}
+
+func (f *fakeCorrections) set(table, columns, signature string, factor float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.factors == nil {
+		f.factors = make(map[[3]string]float64)
+	}
+	f.factors[[3]string{table, columns, signature}] = factor
+	f.ver.Add(1)
+}
+
+func (f *fakeCorrections) CorrectSelectivity(table, columns, signature string) (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.factors[[3]string{table, columns, signature}]
+	return v, ok
+}
+
+func (f *fakeCorrections) Version() uint64 { return f.ver.Load() }
+
+var _ CorrectionSource = (*fakeCorrections)(nil)
+
+func quantityQuery() *query.Select {
+	return mkSelect([]string{"lineitem"},
+		[]query.Filter{{Col: col("lineitem", "l_quantity"), Op: query.Gt, Val: catalog.NewFloat(10)}},
+		nil, nil)
+}
+
+// TestCorrectionAdjustsEstimate: a matching learned correction multiplies the
+// base-table selectivity, and the plan records the raw pre-correction
+// estimate so feedback keeps measuring the underlying statistics.
+func TestCorrectionAdjustsEstimate(t *testing.T) {
+	sess, db := testSession(t, 0)
+	q := quantityQuery()
+	before, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.RawBaseRows != nil {
+		t.Fatalf("RawBaseRows = %v without a correction source", before.RawBaseRows)
+	}
+
+	filters := q.FiltersOn("lineitem")
+	fc := &fakeCorrections{}
+	fc.set("lineitem", query.FilterColumns(filters), query.FilterSignature(filters), 2)
+	sess.SetCorrections(fc)
+	after, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after.Root.EstRows, 2*before.Root.EstRows; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("corrected EstRows = %v, want %v (2x raw)", got, want)
+	}
+	raw, ok := after.RawBaseRows["lineitem"]
+	if !ok {
+		t.Fatalf("RawBaseRows missing lineitem: %v", after.RawBaseRows)
+	}
+	if math.Abs(raw-before.Root.EstRows) > 1e-9*before.Root.EstRows {
+		t.Errorf("RawBaseRows = %v, want raw estimate %v", raw, before.Root.EstRows)
+	}
+	// A correction on a different signature must not apply.
+	fc2 := &fakeCorrections{}
+	fc2.set("lineitem", "l_quantity", "no-such-signature", 10)
+	sess.SetCorrections(fc2)
+	other, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Root.EstRows != before.Root.EstRows || other.RawBaseRows != nil {
+		t.Errorf("non-matching correction applied: rows=%v raw=%v", other.Root.EstRows, other.RawBaseRows)
+	}
+	_ = db
+}
+
+// TestCorrectionVersionInvalidatesPlanCache: cached plans embed the
+// correction-set version, so publishing a new correction is a cache miss —
+// the same stats-epoch discipline the plan cache already applies.
+func TestCorrectionVersionInvalidatesPlanCache(t *testing.T) {
+	sess, _ := testSession(t, 0)
+	fc := &fakeCorrections{}
+	sess.SetCorrections(fc)
+	sess.SetPlanCache(NewPlanCache(8))
+	q := quantityQuery()
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Optimize(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.PlanCache().Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("before version bump: %+v, want 1 hit / 1 miss", st)
+	}
+
+	filters := q.FiltersOn("lineitem")
+	fc.set("lineitem", query.FilterColumns(filters), query.FilterSignature(filters), 3)
+	corrected, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = sess.PlanCache().Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("after version bump: %+v, want 1 hit / 2 misses", st)
+	}
+	if corrected.RawBaseRows == nil {
+		t.Error("re-optimized plan did not pick up the new correction")
+	}
+	// The corrected plan is itself cached under the new version.
+	if _, err := sess.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if st = sess.PlanCache().Stats(); st.Hits != 2 {
+		t.Fatalf("corrected plan not cached: %+v", st)
+	}
+}
+
+// TestCloneIsolation audits Clone for shared mutable state: the ignore and
+// override buffers must be fresh maps (not aliases of the parent's), while
+// manager, plan cache and correction source are intentionally shared.
+func TestCloneIsolation(t *testing.T) {
+	sess, _ := testSession(t, 0)
+	fc := &fakeCorrections{}
+	sess.SetCorrections(fc)
+	sess.SetPlanCache(NewPlanCache(4))
+	sess.SetSelectivityOverrides(map[int]float64{7: 0.5})
+	if err := sess.IgnoreStatisticsSubset("", []stats.ID{stats.MakeID("orders", []string{"o_orderdate"})}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := sess.Clone()
+	if c.Corrections() != fc || c.PlanCache() != sess.PlanCache() || c.Manager() != sess.Manager() {
+		t.Error("Clone must share manager, plan cache and correction source")
+	}
+	if len(c.ignored) != 0 || len(c.overrides) != 0 {
+		t.Fatalf("Clone inherited buffers: ignored=%v overrides=%v", c.ignored, c.overrides)
+	}
+	// Mutating the clone's buffers must not leak into the parent.
+	c.SetSelectivityOverrides(map[int]float64{1: 0.9})
+	c.ignored[stats.MakeID("lineitem", []string{"l_quantity"})] = true
+	if len(sess.overrides) != 1 || sess.overrides[7] != 0.5 {
+		t.Errorf("parent overrides mutated via clone: %v", sess.overrides)
+	}
+	if sess.Ignored(stats.MakeID("lineitem", []string{"l_quantity"})) {
+		t.Error("parent ignore buffer mutated via clone")
+	}
+}
+
+// TestCloneConcurrentSessions is the -race regression for Clone: clones with
+// divergent per-session buffers optimizing in parallel against the shared
+// cache and correction source must not trip the race detector.
+func TestCloneConcurrentSessions(t *testing.T) {
+	sess, _ := testSession(t, 0)
+	fc := &fakeCorrections{}
+	q := quantityQuery()
+	filters := q.FiltersOn("lineitem")
+	fc.set("lineitem", query.FilterColumns(filters), query.FilterSignature(filters), 2)
+	sess.SetCorrections(fc)
+	sess.SetPlanCache(NewPlanCache(32))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sess.Clone()
+			c.SetSelectivityOverrides(map[int]float64{g: 0.1 * float64(g+1)})
+			for i := 0; i < 20; i++ {
+				if _, err := c.Optimize(q); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -40,9 +40,9 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	}
 	s.met.optimizations.Inc()
 	s.met.optimizeLatency.Observe(time.Since(start))
-	// Publish only if no statistics or data mutation raced with this
-	// optimization; a plan built from a torn read must not be cached.
-	if s.cache != nil && s.mgr.Epoch() == key.epoch && s.mgr.Database().DataVersion() == key.dataVersion {
+	// Publish only if no statistics, data, or correction mutation raced with
+	// this optimization; a plan built from a torn read must not be cached.
+	if s.cache != nil && s.mgr.Epoch() == key.epoch && s.mgr.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {
 		if s.cache.put(key, p) {
 			s.met.cacheEvictions.Inc()
 		}
@@ -65,8 +65,13 @@ func (s *Session) optimize(q *query.Select) (*Plan, error) {
 		tables[i] = lt
 	}
 
-	// Base table info: raw rows, filtered selectivity, best access path.
+	// Base table info: raw rows, filtered selectivity, best access path. A
+	// learned feedback correction, when one matches the table's predicate
+	// signature, multiplies the estimated selectivity; the raw estimate is
+	// kept in rawBase so the executor's feedback collector can measure the
+	// underlying statistics rather than the correction layer.
 	base := make([]baseInfo, len(tables))
+	var rawBase map[string]float64
 	for i, t := range tables {
 		td, err := s.mgr.Database().Table(t)
 		if err != nil {
@@ -75,6 +80,15 @@ func (s *Session) optimize(q *query.Select) (*Plan, error) {
 		n := float64(td.RowCount())
 		filters := q.FiltersOn(t)
 		sel := e.tableSelectivity(t, filters)
+		if s.corr != nil && len(filters) > 0 {
+			if f, ok := s.corr.CorrectSelectivity(t, query.FilterColumns(filters), query.FilterSignature(filters)); ok {
+				if rawBase == nil {
+					rawBase = make(map[string]float64)
+				}
+				rawBase[t] = n * sel
+				sel = clampSel(sel * f)
+			}
+		}
 		base[i] = baseInfo{rawRows: n, sel: sel, plan: e.bestAccessPath(t, n, sel, filters)}
 	}
 
@@ -256,7 +270,7 @@ func (s *Session) optimize(q *query.Select) (*Plan, error) {
 		}
 	}
 
-	return &Plan{Root: root, Query: q, UsedStats: e.usedStats(), MissingVars: e.missingVars()}, nil
+	return &Plan{Root: root, Query: q, UsedStats: e.usedStats(), MissingVars: e.missingVars(), RawBaseRows: rawBase}, nil
 }
 
 // aggregateSet unions the SELECT-list aggregates with any extra aggregates

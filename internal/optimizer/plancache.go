@@ -12,12 +12,14 @@ import (
 // when every input the cost model reads is identical: the query text, the
 // statistics epoch (bumped by every create/drop/refresh/drop-list change),
 // the storage data version (bumped by every DML row change), the magic
-// numbers, and the session's ignore buffer and selectivity overrides. The
-// struct is comparable so it can key a map directly.
+// numbers, the feedback-correction version (bumped when a learned correction
+// materially changes), and the session's ignore buffer and selectivity
+// overrides. The struct is comparable so it can key a map directly.
 type planKey struct {
 	sql         string
 	epoch       uint64
 	dataVersion int64
+	fbver       uint64
 	magic       MagicNumbers
 	ignored     string // sorted statistic IDs, comma-joined
 	overrides   string // sorted "var=sel" pairs, comma-joined
@@ -166,6 +168,7 @@ func (s *Session) cacheKey(sql string) planKey {
 		sql:         sql,
 		epoch:       s.mgr.Epoch(),
 		dataVersion: s.mgr.Database().DataVersion(),
+		fbver:       s.corrVersion(),
 		magic:       s.Magic,
 	}
 	if len(s.ignored) > 0 {

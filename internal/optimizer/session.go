@@ -27,6 +27,7 @@ type Session struct {
 	ignored   map[stats.ID]bool
 	overrides map[int]float64
 	cache     *PlanCache
+	corr      CorrectionSource
 	met       sessionMetrics
 }
 
@@ -81,8 +82,9 @@ func (s *Session) SetPlanCache(c *PlanCache) { s.cache = c }
 func (s *Session) PlanCache() *PlanCache { return s.cache }
 
 // Clone returns an independent session for use by another goroutine: same
-// manager, magic numbers and (shared, thread-safe) plan cache, but fresh
-// ignore and override buffers so the clones cannot interfere.
+// manager, magic numbers and (shared, thread-safe) plan cache and correction
+// source, but fresh ignore and override buffers so the clones cannot
+// interfere.
 func (s *Session) Clone() *Session {
 	return &Session{
 		mgr:       s.mgr,
@@ -90,6 +92,7 @@ func (s *Session) Clone() *Session {
 		ignored:   make(map[stats.ID]bool),
 		overrides: make(map[int]float64),
 		cache:     s.cache,
+		corr:      s.corr,
 		met:       s.met,
 	}
 }

@@ -1,0 +1,46 @@
+package query
+
+import (
+	"sort"
+	"strings"
+)
+
+// FilterSignature renders a conjunctive filter set into a canonical,
+// order-independent signature string: each predicate as
+// "table.column op value" (lower-cased column key), sorted and joined with
+// "&". Two filter sets that differ only in clause order produce the same
+// signature, so it can key execution-feedback entries and selectivity
+// corrections shared by the optimizer and the executor.
+func FilterSignature(filters []Filter) string {
+	if len(filters) == 0 {
+		return ""
+	}
+	parts := make([]string, len(filters))
+	for i, f := range filters {
+		parts[i] = f.Col.Key() + f.Op.String() + f.Val.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// FilterColumns returns the distinct lower-cased column names referenced by
+// the filter set, sorted and comma-joined. It is the "column set" component
+// of a feedback ledger key: predicates over the same columns with different
+// constants share it, which lets per-column accuracy summaries aggregate
+// across query constants.
+func FilterColumns(filters []Filter) string {
+	if len(filters) == 0 {
+		return ""
+	}
+	seen := make(map[string]bool, len(filters))
+	cols := make([]string, 0, len(filters))
+	for _, f := range filters {
+		c := strings.ToLower(f.Col.Column)
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}

@@ -1,6 +1,9 @@
 package stats
 
-import "time"
+import (
+	"strings"
+	"time"
+)
 
 // MaintenancePolicy captures the SQL Server 7.0 auto-statistics maintenance
 // policy described in §2 and §6: statistics on a table are refreshed when
@@ -19,11 +22,45 @@ type MaintenancePolicy struct {
 	// DropListOnly, when true, applies the paper's extension: only
 	// drop-listed (non-essential) statistics are eligible for physical drop.
 	DropListOnly bool
+
+	// QErrorThreshold enables the execution-feedback refresh path: a
+	// maintained statistic whose leading column shows an observed q-error
+	// above this threshold (with at least FeedbackMinObservations
+	// observations in the current evidence window) is refreshed even when
+	// the table's row-modification counter is below UpdateFraction. The
+	// row-mod counter misses skew shifts that rewrite few rows but move much
+	// probability mass; the optimizer being measurably wrong is the more
+	// direct signal. Zero disables the path (and feedback drop confirmation).
+	QErrorThreshold float64
+	// FeedbackMinObservations gates both feedback actions; <=1 means one
+	// observation suffices.
+	FeedbackMinObservations int64
+	// FeedbackConfirmDrop, when true, physically drops drop-listed statistics
+	// whose leading column stayed accurate (max q-error at or below
+	// QErrorThreshold with enough observations): the drop-list marked them
+	// non-essential, feedback confirms the estimates hold up, so the drop is
+	// confidence-boosted rather than waiting out MaxUpdates refresh cycles.
+	FeedbackConfirmDrop bool
 }
 
 // DefaultMaintenancePolicy mirrors the paper's recommended configuration.
+// Execution feedback is off; see DefaultFeedbackPolicy.
 func DefaultMaintenancePolicy() MaintenancePolicy {
 	return MaintenancePolicy{UpdateFraction: 0.2, MaxUpdates: 4, DropListOnly: true}
+}
+
+// DefaultQErrorThreshold is the feedback refresh trigger used by
+// DefaultFeedbackPolicy: estimates off by more than 2x either way.
+const DefaultQErrorThreshold = 2.0
+
+// DefaultFeedbackPolicy is DefaultMaintenancePolicy with the execution-
+// feedback paths enabled.
+func DefaultFeedbackPolicy() MaintenancePolicy {
+	p := DefaultMaintenancePolicy()
+	p.QErrorThreshold = DefaultQErrorThreshold
+	p.FeedbackMinObservations = 2
+	p.FeedbackConfirmDrop = true
+	return p
 }
 
 // MaintenanceReport summarizes one maintenance pass.
@@ -31,7 +68,14 @@ type MaintenanceReport struct {
 	TablesRefreshed int
 	StatsRefreshed  int
 	StatsDropped    int
-	UpdateCostUnits float64
+	// StatsFeedbackRefreshed counts statistics refreshed by the q-error
+	// feedback path alone — their tables' row-mod counters were below the
+	// UpdateFraction threshold.
+	StatsFeedbackRefreshed int
+	// StatsDropConfirmed counts drop-listed statistics physically dropped on
+	// feedback confirmation (accurate estimates, FeedbackConfirmDrop set).
+	StatsDropConfirmed int
+	UpdateCostUnits    float64
 }
 
 // RunMaintenance applies the policy once across all tables: refreshes
@@ -48,6 +92,27 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 	start := time.Now()
 	sp := reg.StartSpan("stats.maintenance", nil)
 	var rep MaintenanceReport
+
+	// Snapshot feedback evidence BEFORE any refresh: every refresh bumps the
+	// statistics epoch, which retires the provider's current evidence window,
+	// so summaries read mid-pass would be empty.
+	minObs := p.FeedbackMinObservations
+	if minObs < 1 {
+		minObs = 1
+	}
+	var qerr map[[2]string]QErrorSummary
+	if p.QErrorThreshold > 0 {
+		if fb := m.feedbackProvider(); fb != nil {
+			qerr = make(map[[2]string]QErrorSummary)
+			for _, s := range fb.QErrorSummaries() {
+				if s.Count >= minObs {
+					qerr[[2]string{s.Table, s.Column}] = s
+				}
+			}
+		}
+	}
+
+	refreshedTables := make(map[string]bool)
 	for _, table := range m.db.Schema.TableNames() {
 		td, err := m.db.Table(table)
 		if err != nil {
@@ -66,8 +131,32 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 		if n > 0 {
 			rep.TablesRefreshed++
 			rep.StatsRefreshed += n
+			refreshedTables[strings.ToLower(table)] = true
 		}
 	}
+
+	// Feedback-triggered refresh (the tentpole loop-closer): a maintained
+	// statistic whose leading column was observed estimating badly is
+	// refreshed even though its table's row-mod counter stayed below the
+	// threshold. Tables already refreshed above are skipped — they are fresh.
+	if len(qerr) > 0 {
+		for _, s := range m.Maintained() {
+			if refreshedTables[s.Table] {
+				continue
+			}
+			sum, ok := qerr[[2]string{s.Table, s.LeadingColumn()}]
+			if !ok || sum.MaxQ <= p.QErrorThreshold {
+				continue
+			}
+			cost, err := m.refreshStatCost(s.ID)
+			rep.UpdateCostUnits += cost
+			if err != nil {
+				return rep, err
+			}
+			rep.StatsFeedbackRefreshed++
+		}
+	}
+
 	if p.MaxUpdates > 0 {
 		for _, s := range m.All() {
 			if s.UpdateCount <= p.MaxUpdates {
@@ -81,17 +170,38 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 			}
 		}
 	}
+
+	// Feedback drop confirmation: a drop-listed statistic whose leading
+	// column kept estimating accurately is physically dropped now instead of
+	// waiting out MaxUpdates refresh cycles — the drop-list said it is
+	// non-essential, the executor's evidence agrees.
+	if p.QErrorThreshold > 0 && p.FeedbackConfirmDrop && qerr != nil {
+		for _, s := range m.DropList() {
+			sum, ok := qerr[[2]string{s.Table, s.LeadingColumn()}]
+			if !ok || sum.MaxQ > p.QErrorThreshold {
+				continue
+			}
+			if m.Drop(s.ID) {
+				rep.StatsDropConfirmed++
+			}
+		}
+	}
+
 	reg.Counter("stats.maintenance.passes").Inc()
 	reg.Counter("stats.maintenance.tables_refreshed").Add(int64(rep.TablesRefreshed))
 	reg.Counter("stats.maintenance.stats_refreshed").Add(int64(rep.StatsRefreshed))
 	reg.Counter("stats.maintenance.stats_dropped").Add(int64(rep.StatsDropped))
+	reg.Counter("stats.maintenance.feedback_refreshes").Add(int64(rep.StatsFeedbackRefreshed))
+	reg.Counter("stats.maintenance.drops_confirmed").Add(int64(rep.StatsDropConfirmed))
 	reg.FloatCounter("stats.maintenance.update_cost_units").Add(rep.UpdateCostUnits)
 	reg.Timing("stats.maintenance.latency").Observe(time.Since(start))
 	sp.End(map[string]any{
-		"tables_refreshed": rep.TablesRefreshed,
-		"stats_refreshed":  rep.StatsRefreshed,
-		"stats_dropped":    rep.StatsDropped,
-		"update_cost":      rep.UpdateCostUnits,
+		"tables_refreshed":   rep.TablesRefreshed,
+		"stats_refreshed":    rep.StatsRefreshed,
+		"stats_dropped":      rep.StatsDropped,
+		"feedback_refreshes": rep.StatsFeedbackRefreshed,
+		"drops_confirmed":    rep.StatsDropConfirmed,
+		"update_cost":        rep.UpdateCostUnits,
 	})
 	return rep, nil
 }

@@ -99,6 +99,10 @@ type Manager struct {
 	// sampling configures sampled statistics construction (see SetSampling).
 	sampling SampleConfig
 
+	// feedback, when non-nil, supplies execution-feedback q-error summaries
+	// to RunMaintenance (see SetFeedbackProvider).
+	feedback FeedbackProvider
+
 	// Cumulative accounting, reported by the experiment harness. Mutated
 	// only under mu; read them after concurrent phases have joined, or via
 	// Accounting for a consistent snapshot.
@@ -506,6 +510,16 @@ func (m *Manager) refreshLocked(id ID) (float64, error) {
 	m.met.updateUnits.Add(fresh.BuildCost)
 	m.bumpEpochLocked()
 	return fresh.BuildCost, nil
+}
+
+// refreshStatCost refreshes a single statistic and returns the update cost
+// this call charged — the per-statistic sibling of refreshTableCost, used by
+// the feedback-triggered maintenance path. The table's modification counter
+// is left untouched: other statistics on the table remain governed by it.
+func (m *Manager) refreshStatCost(id ID) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshLocked(id)
 }
 
 // RefreshTable refreshes every maintained statistic on the table and resets

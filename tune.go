@@ -254,7 +254,7 @@ func (s *System) TPCDOrigWorkload() ([]string, error) {
 // refresh statistics on heavily modified tables, drop over-updated
 // drop-listed statistics. Returns (tables refreshed, statistics dropped).
 func (s *System) RunMaintenance() (int, int, error) {
-	rep, err := s.mgr.RunMaintenance(stats.DefaultMaintenancePolicy())
+	rep, err := s.mgr.RunMaintenance(s.maint)
 	if err != nil {
 		return 0, 0, err
 	}
