@@ -1,0 +1,133 @@
+// Command oracle drives the randomized correctness harness in
+// internal/oracle from the command line. Two modes:
+//
+// Short mode (default) runs every oracle once from a fixed seed — the same
+// deterministic sweep the tier-1 tests run, useful for reproducing a CI
+// failure locally:
+//
+//	oracle -seed 7 -queries 1000
+//
+// Long mode loops over fresh seeds until a time budget is exhausted — the
+// CI nightly soak. Every failure prints the seed that produced it, so a
+// nightly red run is a one-line local repro:
+//
+//	oracle -duration 10m
+//
+// On failure the offending seeds are also written to -failure-file (default
+// oracle-failures.txt) for artifact upload, and the process exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autostats/internal/oracle"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "starting seed (short mode runs exactly this seed)")
+		queries  = flag.Int("queries", 1000, "differential sweep size per seed")
+		meta     = flag.Int("meta", 20, "queries per metamorphic oracle per seed")
+		samples  = flag.Int("samples", 3, "interior samples per query in the bracket oracle")
+		scale    = flag.Float64("scale", 0.05, "database scale factor")
+		zipf     = flag.Float64("zipf", 2, "data skew parameter z")
+		simple   = flag.Bool("simple", false, "restrict the workload to single-table queries")
+		duration = flag.Duration("duration", 0, "long mode: loop over seeds until this much time has passed")
+		failFile = flag.String("failure-file", "oracle-failures.txt", "long mode: write failing seeds here")
+	)
+	flag.Parse()
+
+	if *duration <= 0 {
+		findings, err := runSeed(*seed, *queries, *meta, *samples, *scale, *zipf, *simple)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oracle:", err)
+			os.Exit(1)
+		}
+		if findings > 0 {
+			fmt.Printf("oracle: seed %d FAILED with %d findings\n", *seed, findings)
+			os.Exit(1)
+		}
+		fmt.Printf("oracle: seed %d clean\n", *seed)
+		return
+	}
+
+	deadline := time.Now().Add(*duration)
+	var failed []int64
+	s := *seed
+	for time.Now().Before(deadline) {
+		findings, err := runSeed(s, *queries, *meta, *samples, *scale, *zipf, *simple)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracle: seed %d: %v\n", s, err)
+			failed = append(failed, s)
+		} else if findings > 0 {
+			failed = append(failed, s)
+		}
+		s++
+	}
+	ran := s - *seed
+	if len(failed) > 0 {
+		f, err := os.Create(*failFile)
+		if err == nil {
+			for _, fs := range failed {
+				fmt.Fprintf(f, "%d\n", fs)
+			}
+			f.Close()
+		}
+		fmt.Printf("oracle: %d/%d seeds FAILED: %v (repro: oracle -seed <n>; seeds in %s)\n",
+			len(failed), ran, failed, *failFile)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle: %d seeds clean in %s\n", ran, *duration)
+}
+
+// runSeed runs all four oracles once for the given seed and prints every
+// finding. It returns the finding count so the caller can decide the exit
+// status (an error means the harness itself broke, not that an oracle
+// disagreed).
+func runSeed(seed int64, queries, meta, samples int, scale, zipf float64, simple bool) (int, error) {
+	start := time.Now()
+	h, err := oracle.New(oracle.Options{Seed: seed, Scale: scale, Zipf: zipf, SimpleQueries: simple})
+	if err != nil {
+		return 0, fmt.Errorf("harness: %w", err)
+	}
+
+	findings := 0
+	report := func(fs []oracle.Finding) {
+		for _, f := range fs {
+			fmt.Printf("FAIL %s\n", f)
+		}
+		findings += len(fs)
+	}
+
+	diff, err := h.RunDifferential(queries)
+	if err != nil {
+		return findings, fmt.Errorf("differential: %w", err)
+	}
+	report(diff.Findings)
+
+	mono, err := h.RunMonotonicity(meta)
+	if err != nil {
+		return findings, fmt.Errorf("monotonicity: %w", err)
+	}
+	report(mono.Findings)
+
+	brk, err := h.RunExtremeBracket(meta, samples)
+	if err != nil {
+		return findings, fmt.Errorf("bracket: %w", err)
+	}
+	report(brk.Findings)
+
+	shr, err := h.RunShrinkPreservation(meta)
+	if err != nil {
+		return findings, fmt.Errorf("shrink: %w", err)
+	}
+	report(shr.Findings)
+
+	fmt.Printf("seed %-6d %4d queries (%d dml, %d skipped, %d mnsa, %d maint) | mono %d asserts | bracket %d asserts | shrink %d plans | %d findings | %.1fs\n",
+		seed, diff.Queries, diff.DML, diff.Skipped, diff.MNSARuns, diff.MaintenanceRuns,
+		mono.Assertions, brk.Assertions, shr.Checked, findings, time.Since(start).Seconds())
+	return findings, nil
+}

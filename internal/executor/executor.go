@@ -193,7 +193,13 @@ func seekBounds(filters []query.Filter) (lo, hi *catalog.Datum, loInc, hiInc boo
 		v := f.Val
 		switch f.Op {
 		case query.Eq:
+			// Reset inclusivity along with the bounds: an earlier exclusive
+			// bound (e.g. "> 1 AND = 2") must not turn the point range
+			// [2, 2] into the empty range (2, 2]. Contradictory residual
+			// filters are re-checked per fetched row, so an over-wide point
+			// range is safe; an empty one silently loses rows.
 			lo, hi = &v, &v
+			loInc, hiInc = true, true
 		case query.Lt:
 			if hi == nil || v.Compare(*hi) <= 0 {
 				hi, hiInc = &v, false

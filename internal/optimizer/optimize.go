@@ -42,7 +42,7 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	s.met.optimizeLatency.Observe(time.Since(start))
 	// Publish only if no statistics, data, or correction mutation raced with
 	// this optimization; a plan built from a torn read must not be cached.
-	if s.cache != nil && s.mgr.Epoch() == key.epoch && s.mgr.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {
+	if s.cache != nil && s.prov.Epoch() == key.epoch && s.prov.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {
 		if s.cache.put(key, p) {
 			s.met.cacheEvictions.Inc()
 		}
@@ -73,7 +73,7 @@ func (s *Session) optimize(q *query.Select) (*Plan, error) {
 	base := make([]baseInfo, len(tables))
 	var rawBase map[string]float64
 	for i, t := range tables {
-		td, err := s.mgr.Database().Table(t)
+		td, err := s.prov.Database().Table(t)
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +319,7 @@ func (e *estimator) bestAccessPath(table string, rawRows, sel float64, filters [
 		EstRows: outRows,
 		Cost:    rawRows * CostRowScan,
 	}
-	schema := e.sess.mgr.Database().Schema
+	schema := e.sess.prov.Database().Schema
 	for _, ix := range schema.Indexes {
 		if !strings.EqualFold(ix.Table, table) {
 			continue
@@ -393,7 +393,7 @@ func (e *estimator) joinCandidates(left, right *Node, preds []query.JoinPred, ou
 	if bits.OnesCount(uint(rightMask)) == 1 && len(preds) > 0 {
 		ti := bits.TrailingZeros(uint(rightMask))
 		table := tables[ti]
-		schema := e.sess.mgr.Database().Schema
+		schema := e.sess.prov.Database().Schema
 		for _, p := range preds {
 			if !strings.EqualFold(p.Right.Table, table) {
 				continue

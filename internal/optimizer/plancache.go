@@ -149,6 +149,48 @@ func (c *PlanCache) Len() int {
 	return c.order.Len()
 }
 
+// CachedPlanKey describes one cache entry for inspection: the key fields
+// the staleness discipline hinges on, plus the stored plan's signature and
+// cost so tests can prove an entry is the plan a fresh optimization would
+// produce under that key's state.
+type CachedPlanKey struct {
+	SQL             string
+	Epoch           uint64
+	DataVersion     int64
+	FeedbackVersion uint64
+	Ignored         string
+	Overrides       string
+	Signature       string
+	Cost            float64
+}
+
+// Keys returns a snapshot of every cached entry in MRU-first order. It is
+// an introspection hook for correctness harnesses ("no cached plan may
+// carry the current epoch yet a stale signature"); production code has no
+// reason to call it. Safe on a nil cache.
+func (c *PlanCache) Keys() []CachedPlanKey {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedPlanKey, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CachedPlanKey{
+			SQL:             e.key.sql,
+			Epoch:           e.key.epoch,
+			DataVersion:     e.key.dataVersion,
+			FeedbackVersion: e.key.fbver,
+			Ignored:         e.key.ignored,
+			Overrides:       e.key.overrides,
+			Signature:       e.plan.Signature(),
+			Cost:            e.plan.Cost(),
+		})
+	}
+	return out
+}
+
 // Clear drops every cached plan but keeps the counters. Safe on a nil cache.
 func (c *PlanCache) Clear() {
 	if c == nil {
@@ -166,8 +208,8 @@ func (c *PlanCache) Clear() {
 func (s *Session) cacheKey(sql string) planKey {
 	key := planKey{
 		sql:         sql,
-		epoch:       s.mgr.Epoch(),
-		dataVersion: s.mgr.Database().DataVersion(),
+		epoch:       s.prov.Epoch(),
+		dataVersion: s.prov.Database().DataVersion(),
 		fbver:       s.corrVersion(),
 		magic:       s.Magic,
 	}

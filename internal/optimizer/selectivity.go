@@ -36,7 +36,7 @@ func newEstimator(sess *Session, q *query.Select) *estimator {
 // visibleStatsFor returns the non-ignored statistics whose leading column is
 // table.column, most precise (fewest columns) first.
 func (e *estimator) visibleStatsFor(table, column string) []*stats.Statistic {
-	all := e.sess.mgr.StatsForColumn(table, column)
+	all := e.sess.prov.StatsForColumn(table, column)
 	out := all[:0:0]
 	for _, s := range all {
 		if !e.sess.ignored[s.ID] {
@@ -51,7 +51,7 @@ func (e *estimator) visibleStatByID(id stats.ID) *stats.Statistic {
 	if e.sess.ignored[id] {
 		return nil
 	}
-	return e.sess.mgr.Get(id)
+	return e.sess.prov.Get(id)
 }
 
 // filterSel estimates the selectivity of one filter. When no statistic with
@@ -133,7 +133,7 @@ func (e *estimator) tableSelectivity(table string, filters []query.Filter) float
 	var bestStat *stats.Statistic
 	bestLen := 1 // require >= 2 covered columns to engage a prefix density
 	if len(eqCols) >= 2 {
-		for _, st := range e.sess.mgr.StatsOnTable(table) {
+		for _, st := range e.sess.prov.StatsOnTable(table) {
 			if e.sess.ignored[st.ID] || len(st.Columns) < 2 {
 				continue
 			}
@@ -306,7 +306,7 @@ func (e *estimator) groupCount(inputRows float64) float64 {
 			covered = false
 			break
 		}
-		if td, err := e.sess.mgr.Database().Table(t); err == nil {
+		if td, err := e.sess.prov.Database().Table(t); err == nil {
 			if cap := float64(td.RowCount()); prod > cap && cap >= 1 {
 				prod = cap
 			}

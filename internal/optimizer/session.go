@@ -21,7 +21,11 @@ import (
 // is the cheap way to do that). The attached PlanCache, by contrast, IS safe
 // for concurrent use and is intentionally shared across clones.
 type Session struct {
-	mgr   *stats.Manager
+	mgr *stats.Manager
+	// prov is the statistics view every estimator read goes through. It
+	// defaults to mgr; SetStatsProvider substitutes a wrapper (fault
+	// injection, tracing) without touching the manager used for mutations.
+	prov  stats.Provider
 	Magic MagicNumbers
 
 	ignored   map[stats.ID]bool
@@ -60,6 +64,7 @@ func newSessionMetrics(reg *obs.Registry) sessionMetrics {
 func NewSession(mgr *stats.Manager) *Session {
 	return &Session{
 		mgr:       mgr,
+		prov:      mgr,
 		Magic:     DefaultMagicNumbers(),
 		ignored:   make(map[stats.ID]bool),
 		overrides: make(map[int]float64),
@@ -69,6 +74,22 @@ func NewSession(mgr *stats.Manager) *Session {
 
 // Manager returns the underlying statistics manager.
 func (s *Session) Manager() *stats.Manager { return s.mgr }
+
+// SetStatsProvider routes all of the session's statistics reads through p
+// (nil restores the manager itself). Mutating paths — statistics creation
+// by MNSA, maintenance — keep going to the Manager; only the optimizer's
+// read-side view is swapped. Used by the fault-injection oracle to present
+// stale or torn statistics state to the optimizer.
+func (s *Session) SetStatsProvider(p stats.Provider) {
+	if p == nil {
+		s.prov = s.mgr
+		return
+	}
+	s.prov = p
+}
+
+// StatsProvider returns the view the session's reads currently go through.
+func (s *Session) StatsProvider() stats.Provider { return s.prov }
 
 // Obs returns the registry the session's optimizer metrics go to (the
 // manager's registry at session creation time).
@@ -88,6 +109,7 @@ func (s *Session) PlanCache() *PlanCache { return s.cache }
 func (s *Session) Clone() *Session {
 	return &Session{
 		mgr:       s.mgr,
+		prov:      s.prov,
 		Magic:     s.Magic,
 		ignored:   make(map[stats.ID]bool),
 		overrides: make(map[int]float64),

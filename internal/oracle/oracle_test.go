@@ -1,0 +1,189 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// The counts below are sized so the whole package runs in well under a
+// minute without -race while still exercising every oracle meaningfully:
+// the differential sweep covers >1000 optimized-vs-reference queries and
+// the metamorphic suites several thousand cost assertions.
+const (
+	diffCount    = 1200
+	monoCount    = 30
+	bracketCount = 40
+	shrinkCount  = 40
+)
+
+func reportFindings(t *testing.T, oracle string, findings []Finding) {
+	t.Helper()
+	for i, f := range findings {
+		if i >= 10 {
+			t.Errorf("%s: ... %d further findings suppressed", oracle, len(findings)-i)
+			break
+		}
+		t.Errorf("%s finding: %s", oracle, f)
+	}
+}
+
+// TestDifferentialSweep is the headline oracle: a 1200-statement randomized
+// workload (DML interleaved, MNSA and maintenance running periodically)
+// where every query's optimized execution is diffed against the naive
+// reference evaluator.
+func TestDifferentialSweep(t *testing.T) {
+	h, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunDifferential(diffCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries < 1000 {
+		t.Errorf("sweep ran %d queries, want >= 1000 (raise diffCount)", rep.Queries)
+	}
+	if rep.MNSARuns == 0 || rep.MaintenanceRuns == 0 {
+		t.Errorf("sweep must interleave MNSA (%d) and maintenance (%d) runs", rep.MNSARuns, rep.MaintenanceRuns)
+	}
+	if rep.Skipped > rep.Queries/20 {
+		t.Errorf("%d/%d queries skipped on naive budget — coverage too thin", rep.Skipped, rep.Queries)
+	}
+	reportFindings(t, "differential", rep.Findings)
+}
+
+// TestMonotonicitySweep checks the optimizer cost model is non-decreasing
+// in each pinned selectivity variable — the assumption MNSA's bracketing
+// argument (paper §4) rests on.
+func TestMonotonicitySweep(t *testing.T) {
+	h, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunMonotonicity(monoCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions == 0 {
+		t.Fatal("monotonicity sweep made no assertions")
+	}
+	reportFindings(t, "monotonicity", rep.Findings)
+}
+
+// TestExtremeBracketSweep checks the MNSA bracket: the true cost (with all
+// statistics actually built) and every interior pinning lie between the
+// eps / 1-eps extremes, and t-equivalent extremes imply the true cost is
+// within the same tolerance of the bracket (paper §5's essential-set
+// soundness).
+func TestExtremeBracketSweep(t *testing.T) {
+	h, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunExtremeBracket(bracketCount, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions == 0 {
+		t.Fatal("bracket sweep made no assertions")
+	}
+	reportFindings(t, "bracket", rep.Findings)
+}
+
+// TestShrinkPreservationSweep checks the Shrinking Set guarantee (paper
+// §5.2): after shrinking, ignoring the removed statistics wholesale must
+// leave every workload query's plan unchanged.
+func TestShrinkPreservationSweep(t *testing.T) {
+	h, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunShrinkPreservation(shrinkCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("shrink sweep checked no queries")
+	}
+	reportFindings(t, "shrink", rep.Findings)
+}
+
+// TestHarnessDeterminism runs the cheapest oracle twice from the same seed
+// and requires identical reports — the property that makes any failure
+// seed a reproducible bug report.
+func TestHarnessDeterminism(t *testing.T) {
+	run := func() *DiffReport {
+		h, err := New(Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.RunDifferential(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Statements != b.Statements || a.Queries != b.Queries || a.DML != b.DML ||
+		a.Skipped != b.Skipped || a.MNSARuns != b.MNSARuns || a.MaintenanceRuns != b.MaintenanceRuns ||
+		len(a.Findings) != len(b.Findings) {
+		t.Fatalf("same seed produced different reports:\n  a: %+v\n  b: %+v", a, b)
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Errorf("finding %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestSeedCorpus replays the seed corpus the initial qualification sweep
+// ran (seeds 2..8; seed 7 surfaced the index-seek bounds bug fixed in
+// internal/executor and locked by its own regression test there). A clean
+// corpus here is the regression guard that the whole pipeline stays
+// correct on workloads known to have had discriminating power.
+func TestSeedCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed corpus sweep is not short")
+	}
+	for seed := int64(2); seed <= 8; seed++ {
+		h, err := New(Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.RunDifferential(200)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		reportFindings(t, "corpus differential", rep.Findings)
+		mrep, err := h.RunMonotonicity(5)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		reportFindings(t, "corpus monotonicity", mrep.Findings)
+		brep, err := h.RunExtremeBracket(8, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		reportFindings(t, "corpus bracket", brep.Findings)
+		srep, err := h.RunShrinkPreservation(10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		reportFindings(t, "corpus shrink", srep.Findings)
+	}
+}
+
+// TestSimpleQueriesMode covers the reduced-grammar knob cmd/oracle exposes.
+func TestSimpleQueriesMode(t *testing.T) {
+	h, err := New(Options{Seed: 3, SimpleQueries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunDifferential(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("simple mode produced no queries")
+	}
+	reportFindings(t, "simple differential", rep.Findings)
+}

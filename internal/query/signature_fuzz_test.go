@@ -1,0 +1,103 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"autostats/internal/catalog"
+)
+
+// fuzzFilters decodes the raw fuzz inputs into a two-predicate filter set.
+// Operators and value types are derived modulo their domains so any byte
+// pattern maps to a valid filter.
+func fuzzFilters(t1, c1 string, op1 int, v1 int64, t2, c2 string, op2 int, v2 float64) []Filter {
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	mod := func(i int) CmpOp { return ops[((i%len(ops))+len(ops))%len(ops)] }
+	return []Filter{
+		{Col: ColumnRef{Table: t1, Column: c1}, Op: mod(op1), Val: catalog.NewInt(v1)},
+		{Col: ColumnRef{Table: t2, Column: c2}, Op: mod(op2), Val: catalog.NewFloat(v2)},
+	}
+}
+
+// FuzzFilterSignature checks the canonicalization contract of the feedback
+// ledger keys on arbitrary filter components:
+//
+//  1. FilterSignature never panics and is deterministic;
+//  2. it is invariant under predicate order — the property the feedback
+//     subsystem relies on to match optimizer-side and executor-side keys;
+//  3. case differences in table/column names never produce distinct
+//     signatures (Key() lower-cases);
+//  4. FilterColumns is likewise order- and case-insensitive, and every
+//     reported column actually occurs in some predicate.
+func FuzzFilterSignature(f *testing.F) {
+	f.Add("orders", "o_custkey", 0, int64(5), "customer", "c_acctbal", 4, 10.5)
+	f.Add("t", "c", 2, int64(-1), "t", "c", 2, -1.0)
+	f.Add("", "", -7, int64(0), "T", "C", 99, 0.0)
+	f.Add("emp", "e;salary&", 1, int64(1<<40), "emp", "e,name", 3, -1e300)
+	// Unicode case folding is not a bijection (e.g. the lunate epsilon
+	// U+03F5 upper-cases into the ordinary capital epsilon), so the
+	// case-insensitivity property below only holds for identifiers whose
+	// upper-casing folds back to the same lower form. The parser only
+	// admits ASCII identifiers, which always satisfy this.
+	foldStable := func(s string) bool {
+		return strings.ToLower(strings.ToUpper(s)) == strings.ToLower(s)
+	}
+	f.Fuzz(func(t *testing.T, t1, c1 string, op1 int, v1 int64, t2, c2 string, op2 int, v2 float64) {
+		fs := fuzzFilters(t1, c1, op1, v1, t2, c2, op2, v2)
+		sig := FilterSignature(fs)
+		if sig2 := FilterSignature(fs); sig2 != sig {
+			t.Fatalf("signature not deterministic: %q vs %q", sig, sig2)
+		}
+		rev := []Filter{fs[1], fs[0]}
+		if got := FilterSignature(rev); got != sig {
+			t.Fatalf("signature depends on predicate order:\n  fwd: %q\n  rev: %q", sig, got)
+		}
+		if foldStable(t1) && foldStable(c1) && foldStable(t2) && foldStable(c2) {
+			upper := []Filter{
+				{Col: ColumnRef{Table: strings.ToUpper(t1), Column: strings.ToUpper(c1)}, Op: fs[0].Op, Val: fs[0].Val},
+				{Col: ColumnRef{Table: strings.ToUpper(t2), Column: strings.ToUpper(c2)}, Op: fs[1].Op, Val: fs[1].Val},
+			}
+			if got := FilterSignature(upper); got != sig {
+				t.Fatalf("signature is case-sensitive:\n  lower: %q\n  upper: %q", sig, got)
+			}
+			if got, want := FilterColumns(upper), FilterColumns(fs); got != want {
+				t.Fatalf("FilterColumns is case-sensitive: %q vs %q", want, got)
+			}
+		}
+
+		cols := FilterColumns(fs)
+		if got := FilterColumns(rev); got != cols {
+			t.Fatalf("FilterColumns depends on order: %q vs %q", cols, got)
+		}
+		if c1 == "" || c2 == "" || strings.ContainsRune(c1, ',') || strings.ContainsRune(c2, ',') {
+			return // comma-joined rendering is ambiguous for these; membership check below needs clean separators
+		}
+		for _, c := range strings.Split(cols, ",") {
+			if c != strings.ToLower(c1) && c != strings.ToLower(c2) {
+				t.Fatalf("FilterColumns invented column %q (from %q/%q)", c, c1, c2)
+			}
+		}
+	})
+}
+
+// FuzzFilterSignatureUniqueness cross-checks that two filter sets differing
+// in a single component (column vs value swap of the same rendered text)
+// do not collide, for the common case of well-formed identifiers.
+func FuzzFilterSignatureUniqueness(f *testing.F) {
+	f.Add("orders", "o_custkey", int64(5), int64(6))
+	f.Add("t", "c", int64(0), int64(-1))
+	f.Fuzz(func(t *testing.T, tbl, col string, a, b int64) {
+		if a == b {
+			return
+		}
+		fa := []Filter{{Col: ColumnRef{Table: tbl, Column: col}, Op: Eq, Val: catalog.NewInt(a)}}
+		fb := []Filter{{Col: ColumnRef{Table: tbl, Column: col}, Op: Eq, Val: catalog.NewInt(b)}}
+		if FilterSignature(fa) == FilterSignature(fb) {
+			t.Fatalf("distinct constants %d and %d collide: %q", a, b, FilterSignature(fa))
+		}
+		ga := []Filter{{Col: ColumnRef{Table: tbl, Column: col}, Op: Lt, Val: catalog.NewInt(a)}}
+		if FilterSignature(fa) == FilterSignature(ga) {
+			t.Fatalf("distinct operators collide on %q", FilterSignature(fa))
+		}
+	})
+}

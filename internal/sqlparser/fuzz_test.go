@@ -1,0 +1,108 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"autostats/internal/catalog"
+)
+
+// fuzzSchema is a small two-table schema with a join edge, enough surface
+// for the parser's table/column/index resolution paths without the cost of
+// generating data.
+func fuzzSchema() *catalog.Schema {
+	s := catalog.NewSchema()
+	emp := catalog.NewTable("emp",
+		catalog.Column{Name: "e_id", Type: catalog.Int},
+		catalog.Column{Name: "e_dept", Type: catalog.Int},
+		catalog.Column{Name: "e_salary", Type: catalog.Float},
+		catalog.Column{Name: "e_name", Type: catalog.String},
+		catalog.Column{Name: "e_hired", Type: catalog.Date},
+	)
+	emp.PrimaryKey = "e_id"
+	dept := catalog.NewTable("dept",
+		catalog.Column{Name: "d_id", Type: catalog.Int},
+		catalog.Column{Name: "d_name", Type: catalog.String},
+	)
+	dept.PrimaryKey = "d_id"
+	if err := s.AddTable(emp); err != nil {
+		panic(err)
+	}
+	if err := s.AddTable(dept); err != nil {
+		panic(err)
+	}
+	if err := s.AddForeignKey(catalog.ForeignKey{Table: "emp", Column: "e_dept", RefTable: "dept", RefColumn: "d_id"}); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FuzzParse feeds arbitrary byte strings through the full lexer+parser.
+// Properties checked:
+//
+//  1. Parse never panics — malformed input must come back as an error.
+//  2. Any statement that parses renders via SQL() and re-parses, and the
+//     second rendering is identical (print/parse is a projection: one
+//     round trip reaches the fixed point).
+func FuzzParse(f *testing.F) {
+	schema := fuzzSchema()
+	for _, seed := range []string{
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE emp.e_salary > 100.5 AND emp.e_name = 'bob'",
+		"SELECT * FROM emp, dept WHERE emp.e_dept = dept.d_id ORDER BY emp.e_id",
+		"SELECT emp.e_dept, COUNT(*), AVG(emp.e_salary) FROM emp GROUP BY emp.e_dept HAVING COUNT(*) > 2",
+		"SELECT MIN(emp.e_hired) FROM emp WHERE emp.e_id <> 3",
+		"INSERT INTO dept VALUES (1, 'eng')",
+		"UPDATE emp SET e_salary = 0 WHERE emp.e_id = 1",
+		"DELETE FROM emp WHERE emp.e_salary < 10",
+		"SELECT * FROM emp WHERE emp.e_name = 'it''s'",
+		"select * from EMP where EMP.E_ID >= -42",
+		"SELECT * FROM emp WHERE",
+		"SELECT COUNT( FROM emp",
+		"'unterminated",
+		"\x00\xff SELECT",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(schema, sql)
+		if err != nil {
+			return
+		}
+		rendered := stmt.SQL()
+		stmt2, err := Parse(schema, rendered)
+		if err != nil {
+			t.Fatalf("rendering of a parsed statement does not re-parse:\n  input:    %q\n  rendered: %q\n  error:    %v", sql, rendered, err)
+		}
+		if got := stmt2.SQL(); got != rendered {
+			t.Fatalf("print/parse did not reach a fixed point:\n  first:  %q\n  second: %q", rendered, got)
+		}
+	})
+}
+
+// FuzzLexer exercises the tokenizer alone on raw input: it must terminate
+// and never panic, even on unterminated strings, stray bytes, or deeply
+// repeated operators.
+func FuzzLexer(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT 'a' <> <= >= < > = , . ( ) * -1 2.5",
+		"''''''",
+		strings.Repeat("<", 100),
+		"ident_with_underscores 0x 1e9 .5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream for %q does not end in EOF", input)
+		}
+		// Every token consumes at least one input byte, plus the EOF.
+		if len(toks) > len(input)+1 {
+			t.Fatalf("lexer produced %d tokens from %d input bytes: %q", len(toks), len(input), input)
+		}
+	})
+}

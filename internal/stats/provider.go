@@ -1,0 +1,47 @@
+package stats
+
+import "autostats/internal/storage"
+
+// Provider is the read-only view of the statistics layer the optimizer
+// consumes. Manager is the production implementation; tests substitute
+// wrappers that misreport epochs or tear snapshots to verify the plan
+// cache's staleness discipline holds under faults.
+//
+// The contract mirrors the Manager's snapshot semantics: returned
+// *Statistic values are immutable snapshots, and Epoch must change
+// whenever the visible statistics set changes. A Provider that violates
+// the epoch contract (on purpose, in tests) must not be able to trick a
+// correctly implemented optimizer into publishing a stale plan under a
+// fresh key.
+type Provider interface {
+	// Epoch identifies the visible statistics set; see Manager.Epoch.
+	Epoch() uint64
+	// Get returns the statistic with the given ID, or nil.
+	Get(id ID) *Statistic
+	// StatsForColumn returns the statistics whose leading column is
+	// table.column, single-column statistics first.
+	StatsForColumn(table, column string) []*Statistic
+	// StatsOnTable returns all statistics on the table.
+	StatsOnTable(table string) []*Statistic
+	// Database returns the underlying database.
+	Database() *storage.Database
+}
+
+var _ Provider = (*Manager)(nil)
+
+// Failpoint is a test hook consulted before state-mutating statistics
+// operations. op is "refresh" (rebuilding an existing statistic) or
+// "create" (physically building a new one); id names the target. A
+// non-nil return aborts the operation with that error, and the manager
+// must leave all published state — snapshots, epoch, accounting —
+// exactly as it was.
+type Failpoint func(op string, id ID) error
+
+// SetFailpoint installs (or, with nil, removes) the manager's failpoint.
+// Production code never installs one; the fault-injection oracle uses it
+// to prove refresh failures cannot poison optimizer state.
+func (m *Manager) SetFailpoint(fp Failpoint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failpoint = fp
+}

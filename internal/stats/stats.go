@@ -103,6 +103,10 @@ type Manager struct {
 	// to RunMaintenance (see SetFeedbackProvider).
 	feedback FeedbackProvider
 
+	// failpoint, when non-nil, can veto mutating operations (see
+	// SetFailpoint). Guarded by mu like the state it protects.
+	failpoint Failpoint
+
 	// Cumulative accounting, reported by the experiment harness. Mutated
 	// only under mu; read them after concurrent phases have joined, or via
 	// Accounting for a consistent snapshot.
@@ -328,6 +332,11 @@ func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) 
 		}
 		return s, false, nil
 	}
+	if m.failpoint != nil {
+		if err := m.failpoint("create", id); err != nil {
+			return nil, false, err
+		}
+	}
 	s, err := m.buildLocked(table, cols)
 	if err != nil {
 		return nil, false, err
@@ -494,6 +503,11 @@ func (m *Manager) refreshLocked(id ID) (float64, error) {
 	}
 	if s.InDropList {
 		return 0, nil
+	}
+	if m.failpoint != nil {
+		if err := m.failpoint("refresh", id); err != nil {
+			return 0, err
+		}
 	}
 	fresh, err := m.buildLocked(s.Table, s.Columns)
 	if err != nil {

@@ -54,6 +54,23 @@ type Config struct {
 	OrderByPct int
 	// Seed makes generation deterministic.
 	Seed int64
+
+	// The adversarial knobs below exist for the correctness harness
+	// (internal/oracle) and default to off. They are gated so that a zero
+	// value consumes no randomness: existing seeds keep producing exactly
+	// the same workloads.
+
+	// NePct is the chance (0-100) that a numeric filter uses <> instead of
+	// the standard operator mix. The paper's magic number for <> is 0.90,
+	// the opposite end of the selectivity range from equality's 0.10.
+	NePct int
+	// OutOfRangePct is the chance (0-100) that a numeric filter constant is
+	// pushed far outside the column's live domain, exercising the
+	// histograms' and executor's empty-range paths.
+	OutOfRangePct int
+	// HavingPct is the chance (0-100) that a grouped query gets a
+	// HAVING COUNT(*) predicate.
+	HavingPct int
 }
 
 // Name renders the paper's workload naming scheme, e.g. "U25-S-1000".
@@ -298,6 +315,12 @@ func (g *generator) genFilter(table string) (query.Filter, bool) {
 		default:
 			op = query.Ge
 		}
+		if g.cfg.NePct > 0 && g.rng.Intn(100) < g.cfg.NePct {
+			op = query.Ne
+		}
+		if g.cfg.OutOfRangePct > 0 && g.rng.Intn(100) < g.cfg.OutOfRangePct {
+			val = pushOutOfRange(g.rng, val)
+		}
 	}
 	return query.Filter{
 		Col: query.ColumnRef{Table: table, Column: strings.ToLower(col.Name)},
@@ -340,6 +363,14 @@ func (g *generator) genQuery() (query.Statement, error) {
 				q.Aggregates = append(q.Aggregates, query.Aggregate{
 					Func: fns[g.rng.Intn(len(fns))],
 					Col:  query.ColumnRef{Table: t, Column: num},
+				})
+			}
+			if g.cfg.HavingPct > 0 && g.rng.Intn(100) < g.cfg.HavingPct {
+				ops := []query.CmpOp{query.Gt, query.Ge, query.Le}
+				q.Having = append(q.Having, query.HavingPred{
+					Agg: query.Aggregate{Func: query.CountStar},
+					Op:  ops[g.rng.Intn(len(ops))],
+					Val: catalog.NewInt(int64(1 + g.rng.Intn(3))),
 				})
 			}
 		}
@@ -416,6 +447,26 @@ func (g *generator) genDML() (query.Statement, error) {
 			u.Filters = []query.Filter{f}
 		}
 		return u, nil
+	}
+}
+
+// pushOutOfRange moves a sampled numeric constant far outside any live
+// column domain (TPC-D values stay well under 10^9), in a random direction.
+// Non-numeric datums are returned unchanged.
+func pushOutOfRange(rng *rand.Rand, val catalog.Datum) catalog.Datum {
+	sign := int64(1)
+	if rng.Intn(2) == 0 {
+		sign = -1
+	}
+	switch val.T {
+	case catalog.Int:
+		return catalog.NewInt(val.I + sign*(1<<40))
+	case catalog.Float:
+		return catalog.NewFloat(val.F + float64(sign)*1e12)
+	case catalog.Date:
+		return catalog.NewDate(val.I + sign*(1<<40))
+	default:
+		return val
 	}
 }
 
