@@ -40,6 +40,7 @@ import (
 	"autostats/internal/obs"
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
+	"autostats/internal/resilience"
 	"autostats/internal/sqlparser"
 	"autostats/internal/stats"
 	"autostats/internal/storage"
@@ -60,6 +61,9 @@ type System struct {
 	cache *optimizer.PlanCache
 	fb    *feedback.Ledger
 	maint stats.MaintenancePolicy
+	// guard is the resilience stack installed by EnableResilience (nil when
+	// disabled); see resilience.go.
+	guard *resilience.Guard
 }
 
 // DefaultPlanCacheCapacity is the plan cache size a new System starts with.
@@ -162,6 +166,11 @@ type QueryResult struct {
 	Plan string
 	// Affected counts DML-affected rows.
 	Affected int
+	// Degraded lists the degraded-mode reasons when the statement was
+	// planned without statistics the analysis wanted (resilience enabled,
+	// builds failing); empty for healthy plans. The results themselves are
+	// exact — only the plan choice leaned on default magic numbers.
+	Degraded []string
 }
 
 // Exec parses, optimizes and executes one SQL statement.

@@ -7,32 +7,48 @@
 //	.stats                 list statistics (drop-listed ones marked)
 //	.auto on|off           toggle on-the-fly mode (MNSA before every SELECT)
 //	.maintenance           run the update/drop maintenance policy once
+//	.breakers              show circuit breaker states (resilience mode)
 //	.help                  command summary
 //	.quit                  exit
 //
 // Usage:
 //
 //	autostatsql -db TPCD_2 -scale 0.5
+//	autostatsql -retries 2 -build-timeout 2s    # resilience mode
+//
+// With -retries >= 0 the resilience layer is enabled: statistic builds that
+// fail are retried with backoff, persistently failing tables trip per-table
+// circuit breakers, and affected statements still run on degraded
+// magic-number plans (shown as [degraded: ...]). SIGINT/SIGTERM cancel the
+// in-flight statement and exit the shell cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"autostats"
 )
 
 func main() {
 	var (
-		dbName = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
-		scale  = flag.Float64("scale", 0.5, "database scale factor")
-		seed   = flag.Int64("seed", 42, "generator seed")
+		dbName  = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+		scale   = flag.Float64("scale", 0.5, "database scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		retries = flag.Int("retries", -1, "enable the resilience layer, retrying each failed statistic build this many times (-1 = resilience off)")
+		buildTO = flag.Duration("build-timeout", 0, "per-statistic build attempt timeout (needs -retries >= 0; 0 = unbounded)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var opts autostats.TPCDOptions
 	opts.Scale = *scale
@@ -55,8 +71,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "autostatsql:", err)
 		os.Exit(1)
 	}
+	if *retries >= 0 {
+		sys.EnableResilience(autostats.ResilienceOptions{
+			Retries:      *retries,
+			BuildTimeout: *buildTO,
+			Seed:         *seed,
+		})
+		fmt.Printf("resilience ON: %d retries per build, build timeout %v\n", *retries, *buildTO)
+	}
 	fmt.Printf("autostatsql — %s at scale %.2f. Type .help for commands.\n", *dbName, *scale)
-	if err := runREPL(sys, os.Stdin, os.Stdout); err != nil {
+	if err := runREPL(ctx, sys, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autostatsql:", err)
 		os.Exit(1)
 	}
@@ -65,19 +89,25 @@ func main() {
 // maxRowsShown caps result printing.
 const maxRowsShown = 20
 
-// runREPL drives the shell; it is I/O-parameterized for testing.
-func runREPL(sys *autostats.System, in io.Reader, out io.Writer) error {
+// runREPL drives the shell; it is I/O-parameterized for testing. ctx cancels
+// in-flight statement processing (MNSA, builds, maintenance) and ends the
+// loop at the next prompt.
+func runREPL(ctx context.Context, sys *autostats.System, in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	autoMode := false
 	prompt := func() { fmt.Fprint(out, "> ") }
 	prompt()
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(out, "interrupted")
+			return nil
+		}
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case line == "":
 		case strings.HasPrefix(line, "."):
-			if quit := dotCommand(sys, out, line, &autoMode); quit {
+			if quit := dotCommand(ctx, sys, out, line, &autoMode); quit {
 				return nil
 			}
 		case hasPrefixFold(line, "EXPLAIN "):
@@ -88,7 +118,7 @@ func runREPL(sys *autostats.System, in io.Reader, out io.Writer) error {
 				fmt.Fprint(out, plan)
 			}
 		case hasPrefixFold(line, "TUNE "):
-			rep, err := sys.TuneQuery(strings.TrimSpace(line[len("TUNE "):]), autostats.TuneOptions{})
+			rep, err := sys.TuneQueryCtx(ctx, strings.TrimSpace(line[len("TUNE "):]), autostats.TuneOptions{})
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break
@@ -97,8 +127,14 @@ func runREPL(sys *autostats.System, in io.Reader, out io.Writer) error {
 			for _, id := range rep.Created {
 				fmt.Fprintln(out, "  ", id)
 			}
+			if rep.Degraded {
+				fmt.Fprintf(out, "DEGRADED: %d build(s) failed:\n", len(rep.BuildFailures))
+				for _, bf := range rep.BuildFailures {
+					fmt.Fprintln(out, "  ", bf)
+				}
+			}
 		default:
-			runStatement(sys, out, line, autoMode)
+			runStatement(ctx, sys, out, line, autoMode)
 		}
 		prompt()
 	}
@@ -109,17 +145,20 @@ func hasPrefixFold(s, prefix string) bool {
 	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
 }
 
-func runStatement(sys *autostats.System, out io.Writer, sql string, autoMode bool) {
+func runStatement(ctx context.Context, sys *autostats.System, out io.Writer, sql string, autoMode bool) {
 	var res *autostats.QueryResult
 	var err error
 	if autoMode {
-		res, err = sys.ProcessStatement(sql)
+		res, err = sys.ProcessStatementCtx(ctx, sql)
 	} else {
 		res, err = sys.Exec(sql)
 	}
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Fprintf(out, "[degraded: %s]\n", strings.Join(res.Degraded, ", "))
 	}
 	if res.Rows == nil && res.Columns == nil {
 		fmt.Fprintf(out, "ok: %d row(s) affected, cost %.0f\n", res.Affected, res.ExecCost)
@@ -136,7 +175,7 @@ func runStatement(sys *autostats.System, out io.Writer, sql string, autoMode boo
 	fmt.Fprintf(out, "(%d rows, exec cost %.0f, estimated %.0f)\n", len(res.Rows), res.ExecCost, res.EstimatedCost)
 }
 
-func dotCommand(sys *autostats.System, out io.Writer, line string, autoMode *bool) (quit bool) {
+func dotCommand(ctx context.Context, sys *autostats.System, out io.Writer, line string, autoMode *bool) (quit bool) {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -148,6 +187,7 @@ func dotCommand(sys *autostats.System, out io.Writer, line string, autoMode *boo
   .stats             list statistics
   .auto on|off       toggle on-the-fly statistics management
   .maintenance       run the maintenance policy once
+  .breakers          show circuit breaker states (resilience mode)
   .quit              exit
 `)
 	case ".stats":
@@ -174,12 +214,29 @@ func dotCommand(sys *autostats.System, out io.Writer, line string, autoMode *boo
 			fmt.Fprintln(out, "usage: .auto on|off")
 		}
 	case ".maintenance":
-		refreshed, dropped, err := sys.RunMaintenance()
+		rep, err := sys.RunMaintenanceCtx(ctx)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			break
 		}
-		fmt.Fprintf(out, "maintenance: %d tables refreshed, %d statistics dropped\n", refreshed, dropped)
+		fmt.Fprintf(out, "maintenance: %d tables refreshed, %d statistics dropped\n",
+			rep.TablesRefreshed, rep.StatsDropped)
+		if rep.TablesSkipped > 0 || len(rep.RefreshFailures) > 0 {
+			fmt.Fprintf(out, "degraded pass: %d tables skipped (breaker open), %d refresh failures\n",
+				rep.TablesSkipped, len(rep.RefreshFailures))
+		}
+	case ".breakers":
+		if !sys.ResilienceEnabled() {
+			fmt.Fprintln(out, "resilience layer is off (start with -retries >= 0)")
+			break
+		}
+		states := sys.BreakerStates()
+		if len(states) == 0 {
+			fmt.Fprintln(out, "(no table has been gated yet)")
+		}
+		for _, ts := range states {
+			fmt.Fprintf(out, "%-15s %-9s %d trips\n", ts.Table, ts.State, ts.Trips)
+		}
 	default:
 		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
 	}

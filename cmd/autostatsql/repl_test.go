@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func drive(t *testing.T, script string) string {
 	t.Helper()
 	sys := testSys(t)
 	var out strings.Builder
-	if err := runREPL(sys, strings.NewReader(script), &out); err != nil {
+	if err := runREPL(context.Background(), sys, strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()

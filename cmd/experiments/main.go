@@ -17,10 +17,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"autostats/internal/bench"
@@ -43,30 +47,49 @@ func main() {
 		introScl = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
 		metrics  = flag.Bool("metrics", false, "dump the observability counters after the experiments")
 		traceTo  = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
+		timeout  = flag.Duration("timeout", 0, "abort the experiments after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var tracer *obs.JSONLTracer
+	var traceFile *os.File
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		traceFile = f
 		tracer = obs.NewJSONLTracer(f)
 		obs.Default.AddTracer(tracer)
 	}
 
 	dbList := strings.Split(*dbs, ",")
+	// On failure or interrupt the remaining experiments are skipped, but the
+	// -metrics dump and -trace file are still written before exiting non-zero.
+	var runErr error
 	run := func(name string, fn func() error) {
 		forced := name == "feedback" && *feedback
 		if *exp != "all" && *exp != name && !forced {
 			return
 		}
+		if runErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			return
+		}
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
-			os.Exit(1)
+			runErr = fmt.Errorf("experiment %s failed: %w", name, err)
 		}
 	}
 
@@ -84,27 +107,36 @@ func main() {
 	run("ablation-sample", func() error { return runAblationSample(orDefault(*wl, "U0-C-60"), *scale, *seed) })
 	run("feedback", func() error { return runFeedback(*scale) })
 
-	if *benchOut != "" {
+	if *benchOut != "" && runErr == nil {
 		if err := writeBenchJSON(*benchOut, orDefault(*wl, "U0-C-100"), *scale, *seed, *parallel); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
-			os.Exit(1)
+			runErr = fmt.Errorf("benchjson: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *benchOut)
 		}
-		fmt.Printf("benchmark bundle written to %s\n", *benchOut)
 	}
 
 	if *metrics {
 		fmt.Printf("\nmetrics:\n")
-		if err := obs.Default.WriteText(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+		if err := obs.Default.WriteText(os.Stdout); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
 	if tracer != nil {
-		if err := tracer.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
-			os.Exit(1)
+		if err := tracer.Err(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil && runErr == nil {
+			runErr = err
 		}
 		fmt.Printf("trace written to %s\n", *traceTo)
+	}
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted: %v\n", runErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -15,12 +15,17 @@
 //
 // On failure the offending seeds are also written to -failure-file (default
 // oracle-failures.txt) for artifact upload, and the process exits 1.
+// SIGINT/SIGTERM stop the soak at the next seed boundary; seeds that already
+// failed are still written to -failure-file before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"autostats/internal/oracle"
@@ -40,6 +45,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *duration <= 0 {
 		findings, err := runSeed(*seed, *queries, *meta, *samples, *scale, *zipf, *simple)
 		if err != nil {
@@ -56,8 +64,13 @@ func main() {
 
 	deadline := time.Now().Add(*duration)
 	var failed []int64
+	interrupted := false
 	s := *seed
 	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		findings, err := runSeed(s, *queries, *meta, *samples, *scale, *zipf, *simple)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oracle: seed %d: %v\n", s, err)
@@ -80,10 +93,14 @@ func main() {
 			len(failed), ran, failed, *failFile)
 		os.Exit(1)
 	}
+	if interrupted {
+		fmt.Printf("oracle: interrupted after %d clean seeds\n", ran)
+		os.Exit(1)
+	}
 	fmt.Printf("oracle: %d seeds clean in %s\n", ran, *duration)
 }
 
-// runSeed runs all four oracles once for the given seed and prints every
+// runSeed runs all five oracles once for the given seed and prints every
 // finding. It returns the finding count so the caller can decide the exit
 // status (an error means the harness itself broke, not that an oracle
 // disagreed).
@@ -126,8 +143,16 @@ func runSeed(seed int64, queries, meta, samples int, scale, zipf float64, simple
 	}
 	report(shr.Findings)
 
-	fmt.Printf("seed %-6d %4d queries (%d dml, %d skipped, %d mnsa, %d maint) | mono %d asserts | bracket %d asserts | shrink %d plans | %d findings | %.1fs\n",
+	deg, err := h.RunDegradedRecovery(meta)
+	if err != nil {
+		return findings, fmt.Errorf("degraded-recovery: %w", err)
+	}
+	report(deg.Findings)
+
+	fmt.Printf("seed %-6d %4d queries (%d dml, %d skipped, %d mnsa, %d maint) | mono %d asserts | bracket %d asserts | shrink %d plans | degraded %d/%d (%d inj, %d trips) | %d findings | %.1fs\n",
 		seed, diff.Queries, diff.DML, diff.Skipped, diff.MNSARuns, diff.MaintenanceRuns,
-		mono.Assertions, brk.Assertions, shr.Checked, findings, time.Since(start).Seconds())
+		mono.Assertions, brk.Assertions, shr.Checked,
+		deg.DegradedPlans, deg.Queries, deg.Injections, deg.BreakerTrips,
+		findings, time.Since(start).Seconds())
 	return findings, nil
 }

@@ -12,12 +12,23 @@
 //	ragsgen -workload U25-C-100 -db TPCD_2 -o w.sql
 //	statsadvisor -db TPCD_2 -workload w.sql -mode offline
 //	statsadvisor -db TPCD_4 -tpcd-orig -mode mnsad -verbose
+//
+// SIGINT/SIGTERM cancel the run cleanly: in-flight tuning stops at the next
+// statement or build boundary, and the -metrics dump and -trace file are
+// still written before exit. -timeout bounds the whole run the same way;
+// -retries enables the resilience layer (retry/backoff, per-table circuit
+// breakers, optional -build-timeout), under which failed statistic builds
+// degrade the affected queries to magic-number planning instead of aborting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"autostats/internal/core"
 	"autostats/internal/datagen"
@@ -26,52 +37,97 @@ import (
 	"autostats/internal/histogram"
 	"autostats/internal/obs"
 	"autostats/internal/optimizer"
+	"autostats/internal/resilience"
 	"autostats/internal/stats"
 	"autostats/internal/storage"
 	"autostats/internal/workload"
 )
 
+var (
+	dbName   = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+	scale    = flag.Float64("scale", 1, "database scale factor")
+	dbSeed   = flag.Int64("db-seed", 42, "database generator seed")
+	tblDir   = flag.String("tbl", "", "load database from .tbl files in this directory instead of generating")
+	wlPath   = flag.String("workload", "", "workload SQL file (one statement per line)")
+	tpcdOrig = flag.Bool("tpcd-orig", false, "use the built-in 17-query TPCD-ORIG workload")
+	mode     = flag.String("mode", "mnsa", "mnsa | mnsad | offline | all")
+	tPct     = flag.Float64("t", 20, "t-optimizer-cost equivalence threshold (percent)")
+	eps      = flag.Float64("eps", 0.0005, "epsilon for the sensitivity extremes")
+	single   = flag.Bool("single-column", false, "consider only single-column candidate statistics")
+	parallel = flag.Int("parallel", 1, "worker sessions for mnsa/mnsad/offline tuning (<=1 = serial)")
+	cacheCap = flag.Int("plan-cache", 1024, "plan cache capacity (0 disables)")
+	useFB    = flag.Bool("feedback", false, "capture actual cardinalities during workload execution, apply learned selectivity corrections, and run a feedback-aware maintenance pass")
+	verbose  = flag.Bool("verbose", false, "per-query detail")
+	saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
+	loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
+	metrics  = flag.Bool("metrics", false, "dump the observability counters after the run")
+	traceTo  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
+	timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
+	retries  = flag.Int("retries", -1, "enable the resilience layer, retrying each failed statistic build this many times (-1 = resilience off)")
+	buildTO  = flag.Duration("build-timeout", 0, "per-statistic build attempt timeout (needs -retries >= 0; 0 = unbounded)")
+)
+
 func main() {
-	var (
-		dbName   = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
-		scale    = flag.Float64("scale", 1, "database scale factor")
-		dbSeed   = flag.Int64("db-seed", 42, "database generator seed")
-		tblDir   = flag.String("tbl", "", "load database from .tbl files in this directory instead of generating")
-		wlPath   = flag.String("workload", "", "workload SQL file (one statement per line)")
-		tpcdOrig = flag.Bool("tpcd-orig", false, "use the built-in 17-query TPCD-ORIG workload")
-		mode     = flag.String("mode", "mnsa", "mnsa | mnsad | offline | all")
-		tPct     = flag.Float64("t", 20, "t-optimizer-cost equivalence threshold (percent)")
-		eps      = flag.Float64("eps", 0.0005, "epsilon for the sensitivity extremes")
-		single   = flag.Bool("single-column", false, "consider only single-column candidate statistics")
-		parallel = flag.Int("parallel", 1, "worker sessions for mnsa/mnsad/offline tuning (<=1 = serial)")
-		cacheCap = flag.Int("plan-cache", 1024, "plan cache capacity (0 disables)")
-		useFB    = flag.Bool("feedback", false, "capture actual cardinalities during workload execution, apply learned selectivity corrections, and run a feedback-aware maintenance pass")
-		verbose  = flag.Bool("verbose", false, "per-query detail")
-		saveTo   = flag.String("save-stats", "", "export the resulting statistics set as JSON")
-		loadFrom = flag.String("load-stats", "", "import a statistics JSON snapshot before tuning")
-		metrics  = flag.Bool("metrics", false, "dump the observability counters after the run")
-		traceTo  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
-	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var tracer *obs.JSONLTracer
+	var traceFile *os.File
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "statsadvisor:", err)
+			os.Exit(1)
 		}
-		defer f.Close()
+		traceFile = f
 		tracer = obs.NewJSONLTracer(f)
 		obs.Default.AddTracer(tracer)
 	}
 
+	err := run(ctx)
+
+	// Observability output is flushed even when the run failed or was
+	// interrupted: a canceled run still leaves its metrics and trace behind.
+	if *metrics {
+		fmt.Printf("\nmetrics:\n")
+		if werr := obs.Default.WriteText(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if tracer != nil {
+		if terr := tracer.Err(); terr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", terr)
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fmt.Printf("trace written to %s\n", *traceTo)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "statsadvisor: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "statsadvisor:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
 	db, err := openDatabase(*tblDir, *dbName, *scale, *dbSeed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w, err := openWorkload(db, *wlPath, *tpcdOrig)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	queries := w.Queries()
 	fmt.Printf("database %s (%d rows), workload %s: %d statements, %d queries\n",
@@ -81,12 +137,12 @@ func main() {
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		err = mgr.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("loaded %d statistics from %s\n", len(mgr.All()), *loadFrom)
 	}
@@ -105,13 +161,27 @@ func main() {
 	if *single {
 		cfg.CandidateFn = core.SingleColumnCandidates
 	}
+	var guard *resilience.Guard
+	if *retries >= 0 {
+		retry := resilience.DefaultRetry(*dbSeed)
+		retry.MaxAttempts = *retries + 1
+		guard = resilience.NewGuard(mgr, resilience.GuardConfig{
+			Retry:        retry,
+			BuildTimeout: *buildTO,
+			Seed:         *dbSeed,
+		})
+		cfg.Builder = guard
+	}
 
 	switch *mode {
 	case "all":
 		cands := core.WorkloadCandidates(queries, cfg.CandidateFn)
 		for _, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if _, err := mgr.Create(c.Table, c.Columns); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		fmt.Printf("created all %d candidate statistics\n", len(cands))
@@ -119,30 +189,36 @@ func main() {
 		cfg.Drop = *mode == "mnsad"
 		if *verbose {
 			for i, q := range queries {
-				r, err := core.RunMNSA(sess, q, cfg)
+				r, err := core.RunMNSACtx(ctx, sess, q, cfg)
 				if err != nil {
-					fatal(err)
+					return err
 				}
-				fmt.Printf("Q%-3d created=%d droplisted=%d optcalls=%d (%s)\n",
-					i+1, len(r.Created), len(r.DropListed), r.OptimizerCalls, r.TerminatedBy)
+				degr := ""
+				if r.Degraded() {
+					degr = fmt.Sprintf(" DEGRADED(%d builds failed)", len(r.BuildFailures))
+				}
+				fmt.Printf("Q%-3d created=%d droplisted=%d optcalls=%d (%s)%s\n",
+					i+1, len(r.Created), len(r.DropListed), r.OptimizerCalls, r.TerminatedBy, degr)
 			}
 		} else {
-			wr, err := core.RunMNSAWorkloadParallel(sess, queries, cfg, *parallel)
+			wr, err := core.RunMNSAWorkloadParallelCtx(ctx, sess, queries, cfg, *parallel)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("MNSA%s: created %d statistics with %d optimizer calls\n",
 				map[bool]string{true: "/D", false: ""}[cfg.Drop], len(wr.Created), wr.OptimizerCalls)
+			reportDegraded(wr.BuildFailures, guard)
 		}
 	case "offline":
-		rep, err := core.OfflineTuneParallel(sess, queries, cfg, nil, *parallel)
+		rep, err := core.OfflineTuneParallelCtx(ctx, sess, queries, cfg, nil, *parallel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("offline tune: MNSA created %d, shrinking set kept %d (essential), drop-listed %d\n",
 			len(rep.MNSA.Created), len(rep.Shrink.Kept), len(rep.DropListed))
+		reportDegraded(rep.BuildFailures(), guard)
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	acct := mgr.Snapshot()
@@ -170,9 +246,12 @@ func main() {
 	}
 	total := 0.0
 	for _, stmt := range w.Statements {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := ex.RunStatement(sess, stmt)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		total += res.Cost
 	}
@@ -190,9 +269,9 @@ func main() {
 			fmt.Printf("  %s(%s) [%s]: %d obs, max q-error %.2f, last est %.1f vs actual %d\n",
 				e.Key.Table, e.Key.Columns, e.Key.Signature, e.Count, e.MaxQ, e.LastEst, e.LastActual)
 		}
-		rep, err := mgr.RunMaintenance(stats.DefaultFeedbackPolicy())
+		rep, err := mgr.RunMaintenanceCtx(ctx, stats.DefaultFeedbackPolicy())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("feedback maintenance: %d counter-refreshed tables, %d feedback-refreshed statistics, %d drops confirmed\n",
 			rep.TablesRefreshed, rep.StatsFeedbackRefreshed, rep.StatsDropConfirmed)
@@ -201,29 +280,34 @@ func main() {
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		err = mgr.Save(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("saved %d statistics to %s\n", len(mgr.All()), *saveTo)
 	}
+	return nil
+}
 
-	if *metrics {
-		fmt.Printf("\nmetrics:\n")
-		if err := obs.Default.WriteText(os.Stdout); err != nil {
-			fatal(err)
-		}
+// reportDegraded summarizes degraded-mode tuning: which builds failed and
+// why, and where the circuit breakers ended up.
+func reportDegraded(failures []core.BuildFailure, guard *resilience.Guard) {
+	if len(failures) == 0 {
+		return
 	}
-	if tracer != nil {
-		if err := tracer.Err(); err != nil {
-			fatal(fmt.Errorf("trace: %w", err))
+	fmt.Printf("DEGRADED: %d statistic build(s) failed; affected queries were planned on magic numbers:\n", len(failures))
+	for _, f := range failures {
+		fmt.Printf("  %s: %s (%v)\n", f.ID, f.Reason, f.Err)
+	}
+	if guard != nil {
+		for _, ts := range guard.Breakers().States() {
+			fmt.Printf("  breaker %-12s %-9s (%d trips)\n", ts.Table, ts.State, ts.Trips)
 		}
-		fmt.Printf("trace written to %s\n", *traceTo)
 	}
 }
 
@@ -254,9 +338,4 @@ func openWorkload(db *storage.Database, wlPath string, tpcdOrig bool) (*workload
 	default:
 		return nil, fmt.Errorf("pass -workload <file> or -tpcd-orig")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "statsadvisor:", err)
-	os.Exit(1)
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"autostats/internal/obs"
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
+	"autostats/internal/resilience"
 	"autostats/internal/stats"
 )
 
@@ -43,7 +45,30 @@ type Config struct {
 	// NextStatFn overrides the next-statistic heuristic (§4.2's
 	// most-expensive-operator rule by default). Used by ablation benches.
 	NextStatFn NextStatFunc
+	// Builder, when non-nil, replaces direct manager calls for on-the-fly
+	// statistic builds — the resilience layer's Guard goes here. With a
+	// Builder installed MNSA runs degraded-tolerant: a unit that cannot be
+	// built (circuit breaker open, build timeout, build failure) no longer
+	// aborts the analysis. The failure is recorded in Result.BuildFailures,
+	// the affected selectivity variables stay on the default magic numbers
+	// (exactly the fallback §4 pins them to), and the session is marked
+	// degraded so subsequent plans are tagged and kept out of the plan
+	// cache. Cancellation still aborts.
+	Builder StatBuilder
 }
+
+// StatBuilder is the seam between MNSA's on-the-fly statistic creation and
+// the statistics layer. *stats.Manager satisfies it directly; the
+// resilience.Guard wraps it with retry, circuit breaking and per-build
+// timeouts.
+type StatBuilder interface {
+	EnsureCtx(ctx context.Context, table string, cols []string) (*stats.Statistic, bool, error)
+}
+
+var (
+	_ StatBuilder = (*stats.Manager)(nil)
+	_ StatBuilder = (*resilience.Guard)(nil)
+)
 
 // NextStatFunc picks the next build unit from the remaining candidates given
 // the current default-magic-number plan and the missing variable IDs.
@@ -62,6 +87,8 @@ type mnsaMetrics struct {
 	ageSkips       *obs.Counter
 	droplistAdds   *obs.Counter
 	resurrections  *obs.Counter
+	buildFailures  *obs.Counter
+	degradedRuns   *obs.Counter
 	unitsConsumed  *obs.FloatCounter
 }
 
@@ -75,6 +102,8 @@ func newMNSAMetrics(reg *obs.Registry) mnsaMetrics {
 		ageSkips:       reg.Counter("mnsa.age_skips"),
 		droplistAdds:   reg.Counter("mnsa.droplist.adds"),
 		resurrections:  reg.Counter("mnsa.resurrections"),
+		buildFailures:  reg.Counter("resilience.mnsa.build_failures"),
+		degradedRuns:   reg.Counter("degraded.mnsa_runs"),
 		unitsConsumed:  reg.FloatCounter("mnsa.units_consumed"),
 	}
 }
@@ -124,6 +153,24 @@ type Result struct {
 	Iterations int
 	// TerminatedBy records the loop exit reason.
 	TerminatedBy Termination
+	// BuildFailures lists statistics the run wanted but could not build
+	// (only populated in degraded-tolerant mode, i.e. with Config.Builder
+	// installed). The run is degraded when non-empty: the affected
+	// selectivity variables were planned on default magic numbers.
+	BuildFailures []BuildFailure
+}
+
+// Degraded reports whether the run could not build every statistic it
+// wanted.
+func (r *Result) Degraded() bool { return len(r.BuildFailures) > 0 }
+
+// BuildFailure records one statistic a degraded-tolerant MNSA run could not
+// build, with the resilience classification of why ("breaker-open",
+// "timeout", "transient", "error") and the underlying cause.
+type BuildFailure struct {
+	ID     stats.ID
+	Reason string
+	Err    error
 }
 
 // RunMNSA creates statistics for q per Figure 1: repeatedly test whether the
@@ -132,6 +179,14 @@ type Result struct {
 // most-expensive-operator heuristic of §4.2). Join-column statistics are
 // created in dependent pairs.
 func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, error) {
+	return RunMNSACtx(context.Background(), sess, q, cfg)
+}
+
+// RunMNSACtx is RunMNSA honoring cancellation and deadlines: ctx is checked
+// at every loop iteration and flows into each statistic build, so a canceled
+// analysis stops at the next boundary with manager state reflecting exactly
+// the builds that completed (each build is individually atomic).
+func RunMNSACtx(ctx context.Context, sess *optimizer.Session, q *query.Select, cfg Config) (*Result, error) {
 	if cfg.T <= 0 {
 		cfg.T = 20
 	}
@@ -151,13 +206,46 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 	sp := reg.StartSpan("mnsa.run", map[string]any{"sql": q.SQL()})
 	res := &Result{TerminatedBy: TermNoCandidates}
 	defer func() {
+		if res.Degraded() {
+			met.degradedRuns.Inc()
+		}
 		sp.End(map[string]any{
 			"created":         len(res.Created),
 			"drop_listed":     len(res.DropListed),
 			"optimizer_calls": res.OptimizerCalls,
 			"terminated_by":   string(res.TerminatedBy),
+			"build_failures":  len(res.BuildFailures),
 		})
 	}()
+
+	// Statistic builds go through the configured Builder; with one installed
+	// (the resilience Guard) build failures degrade the analysis instead of
+	// failing it: the variables the statistic would have covered stay pinned
+	// on the default magic numbers — the same fallback the sensitivity
+	// analysis itself reasons about — and the session is marked so the plans
+	// it produces are tagged Degraded. ensure returns ok=false for a
+	// tolerated failure; cancellation always propagates.
+	builder, tolerant := StatBuilder(mgr), false
+	if cfg.Builder != nil {
+		builder, tolerant = cfg.Builder, true
+	}
+	ensure := func(c Candidate) (ok bool, err error) {
+		s, built, err := builder.EnsureCtx(ctx, c.Table, c.Columns)
+		if err != nil {
+			if !tolerant || ctx.Err() != nil {
+				return false, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+			}
+			reason := resilience.Reason(err)
+			res.BuildFailures = append(res.BuildFailures, BuildFailure{ID: c.ID(), Reason: reason, Err: err})
+			met.buildFailures.Inc()
+			sess.MarkDegraded("stats-build:" + reason)
+			return false, nil
+		}
+		if built {
+			met.unitsConsumed.Add(s.BuildCost)
+		}
+		return true, nil
+	}
 
 	// consumed tracks candidates no longer available this run (built,
 	// age-skipped, or already existing).
@@ -167,20 +255,22 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 	// Small-table shortcut: build those candidates outright.
 	if cfg.MinTableRows > 0 {
 		for _, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			td, err := mgr.Database().Table(c.Table)
 			if err != nil {
 				return nil, err
 			}
 			if td.RowCount() <= cfg.MinTableRows && !mgr.Has(c.ID()) {
-				s, built, err := mgr.Ensure(c.Table, c.Columns)
+				ok, err := ensure(c)
 				if err != nil {
 					return nil, err
 				}
-				if built {
-					met.unitsConsumed.Add(s.BuildCost)
-				}
-				res.Created = append(res.Created, c.ID())
 				consumed[c.ID()] = true
+				if ok {
+					res.Created = append(res.Created, c.ID())
+				}
 			}
 		}
 	}
@@ -236,6 +326,9 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations++
 		met.iterations.Inc()
 		// Step 4: selectivity variables forced onto magic numbers.
@@ -297,12 +390,17 @@ func RunMNSA(sess *optimizer.Session, q *query.Select, cfg Config) (*Result, err
 					met.ageSkips.Inc()
 					continue
 				}
-				s, built, err := mgr.Ensure(c.Table, c.Columns)
+				ok, err := ensure(c)
 				if err != nil {
-					return nil, fmt.Errorf("core: creating %s: %w", c.ID(), err)
+					return nil, err
 				}
-				if built {
-					met.unitsConsumed.Add(s.BuildCost)
+				if !ok {
+					// Tolerated build failure: the candidate is consumed (no
+					// point re-picking it this run) but nothing was built, so
+					// the loop keeps looking for another unit. If everything
+					// fails, the run terminates by candidate exhaustion with
+					// the missing variables still on magic numbers.
+					continue
 				}
 				res.Created = append(res.Created, c.ID())
 				builtIDs = append(builtIDs, c.ID())
@@ -342,12 +440,26 @@ type WorkloadResult struct {
 	Created        []stats.ID
 	DropListed     []stats.ID
 	OptimizerCalls int
+	// BuildFailures aggregates the per-query build failures of a
+	// degraded-tolerant run; the workload pass is degraded when non-empty.
+	BuildFailures []BuildFailure
 }
+
+// Degraded reports whether any query of the workload ran degraded.
+func (wr *WorkloadResult) Degraded() bool { return len(wr.BuildFailures) > 0 }
 
 // RunMNSAWorkload invokes MNSA for each query in order (§4.3: "a sufficient
 // set of statistics for a workload can be obtained by invoking MNSA for each
 // query in the workload"). Statistics accumulate in the session's manager.
 func RunMNSAWorkload(sess *optimizer.Session, queries []*query.Select, cfg Config) (*WorkloadResult, error) {
+	return RunMNSAWorkloadCtx(context.Background(), sess, queries, cfg)
+}
+
+// RunMNSAWorkloadCtx is RunMNSAWorkload honoring cancellation: ctx is
+// checked between workload queries (and inside each per-query analysis), so
+// cancellation stops the pass at the next boundary with the manager holding
+// exactly the statistics already built.
+func RunMNSAWorkloadCtx(ctx context.Context, sess *optimizer.Session, queries []*query.Select, cfg Config) (*WorkloadResult, error) {
 	wr := &WorkloadResult{}
 	// Snapshot the drop-list at entry: the report must cover what THIS run
 	// drop-listed, not entries inherited from earlier tuning passes.
@@ -357,12 +469,16 @@ func RunMNSAWorkload(sess *optimizer.Session, queries []*query.Select, cfg Confi
 	}
 	seen := map[stats.ID]bool{}
 	for _, q := range queries {
-		r, err := RunMNSA(sess, q, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := RunMNSACtx(ctx, sess, q, cfg)
 		if err != nil {
 			return nil, err
 		}
 		wr.PerQuery = append(wr.PerQuery, r)
 		wr.OptimizerCalls += r.OptimizerCalls
+		wr.BuildFailures = append(wr.BuildFailures, r.BuildFailures...)
 		for _, id := range r.Created {
 			if !seen[id] {
 				seen[id] = true

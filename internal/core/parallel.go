@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -27,8 +28,18 @@ import (
 // drawn from the same candidate space and every query still terminates by the
 // same Figure 1 criteria.
 func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, cfg Config, parallelism int) (*WorkloadResult, error) {
+	return RunMNSAWorkloadParallelCtx(context.Background(), sess, queries, cfg, parallelism)
+}
+
+// RunMNSAWorkloadParallelCtx is RunMNSAWorkloadParallel honoring
+// cancellation: the dispatcher stops handing out queries the moment ctx is
+// done, in-flight per-query analyses stop at their next iteration boundary,
+// and the call returns promptly with ctx's error. Statistics already built
+// remain (each build is individually atomic), accounting stays consistent,
+// and no worker goroutine outlives the call.
+func RunMNSAWorkloadParallelCtx(ctx context.Context, sess *optimizer.Session, queries []*query.Select, cfg Config, parallelism int) (*WorkloadResult, error) {
 	if parallelism <= 1 {
-		return RunMNSAWorkload(sess, queries, cfg)
+		return RunMNSAWorkloadCtx(ctx, sess, queries, cfg)
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
@@ -62,19 +73,34 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 			defer wg.Done()
 			ws := sess.Clone()
 			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // drain remaining indices without working
+				}
 				qStart := time.Now()
-				results[i], errs[i] = RunMNSA(ws, queries[i], cfg)
+				results[i], errs[i] = RunMNSACtx(ctx, ws, queries[i], cfg)
 				busy.Observe(time.Since(qStart))
 				workerQueries.Inc()
 			}
 		}()
 	}
+	// The dispatcher stops feeding the moment ctx is done so cancellation
+	// returns promptly instead of waiting for every queued query.
+dispatch:
 	for i := range queries {
-		indices <- i
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(indices)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		sp.End(map[string]any{"error": err.Error()})
+		return nil, err
+	}
 	// Report the first failure by input position so reruns see a stable
 	// error regardless of goroutine scheduling.
 	for i, err := range errs {
@@ -89,6 +115,7 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 	seen := map[stats.ID]bool{}
 	for _, r := range results {
 		wr.OptimizerCalls += r.OptimizerCalls
+		wr.BuildFailures = append(wr.BuildFailures, r.BuildFailures...)
 		for _, id := range r.Created {
 			if !seen[id] {
 				seen[id] = true
@@ -115,17 +142,23 @@ func RunMNSAWorkloadParallel(sess *optimizer.Session, queries []*query.Select, c
 // sequence of dependent hide-and-reoptimize probes over shared session state,
 // and its optimizer calls are the cheap part once statistics exist.
 func OfflineTuneParallel(sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence, parallelism int) (*TuneReport, error) {
+	return OfflineTuneParallelCtx(context.Background(), sess, queries, cfg, eq, parallelism)
+}
+
+// OfflineTuneParallelCtx is OfflineTuneParallel honoring cancellation in
+// both phases.
+func OfflineTuneParallelCtx(ctx context.Context, sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence, parallelism int) (*TuneReport, error) {
 	if eq == nil {
 		eq = ExecutionTree{}
 	}
 	rep := &TuneReport{}
-	wr, err := RunMNSAWorkloadParallel(sess, queries, cfg, parallelism)
+	wr, err := RunMNSAWorkloadParallelCtx(ctx, sess, queries, cfg, parallelism)
 	if err != nil {
 		return nil, err
 	}
 	rep.MNSA = wr
 
-	sr, err := ShrinkingSet(sess, queries, nil, eq)
+	sr, err := ShrinkingSetCtx(ctx, sess, queries, nil, eq)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+
 	"autostats/internal/executor"
 	"autostats/internal/optimizer"
 	"autostats/internal/query"
+	"autostats/internal/resilience"
 	"autostats/internal/stats"
 )
 
@@ -25,6 +28,13 @@ type AutoManager struct {
 	// MaintenanceEvery runs a maintenance pass after every N statements
 	// (0 disables automatic maintenance).
 	MaintenanceEvery int
+	// Guard, when non-nil, routes statistic builds and maintenance through
+	// the resilience stack (retry, per-table circuit breakers, per-build
+	// timeouts) and switches the manager to degraded-mode planning: a
+	// statement whose statistics cannot be built still plans and executes,
+	// on the default magic-number selectivities for exactly the affected
+	// predicates, with the plan tagged Degraded.
+	Guard *resilience.Guard
 
 	stmtCount int
 
@@ -32,6 +42,8 @@ type AutoManager struct {
 	TotalExecCost   float64
 	StatementsRun   int
 	MaintenanceRuns int
+	// DegradedStatements counts statements processed in degraded mode.
+	DegradedStatements int
 }
 
 // NewAutoManager builds an auto manager with the paper's defaults
@@ -53,15 +65,40 @@ func (am *AutoManager) Session() *optimizer.Session { return am.sess }
 // ProcessStatement handles one incoming statement under the on-the-fly
 // policy and returns its execution result.
 func (am *AutoManager) ProcessStatement(stmt query.Statement) (*executor.Result, error) {
+	return am.ProcessStatementCtx(context.Background(), stmt)
+}
+
+// ProcessStatementCtx is ProcessStatement honoring cancellation and
+// deadlines through the MNSA analysis, statistic builds and the periodic
+// maintenance pass. With a Guard installed, statistics failures degrade the
+// statement instead of failing it: the degraded reasons are set on the
+// session before optimization (so the executed plan is tagged and bypasses
+// the plan cache) and cleared at the next statement boundary, which is what
+// lets recovered statistics produce healthy plans again without any explicit
+// reset.
+func (am *AutoManager) ProcessStatementCtx(ctx context.Context, stmt query.Statement) (*executor.Result, error) {
 	mgr := am.sess.Manager()
 	mgr.Tick()
 	am.StatementsRun++
 	reg := am.sess.Obs()
 	reg.Counter("auto.statements").Inc()
 
+	// Each statement starts with a clean degraded slate: degradation is a
+	// per-statement condition, re-derived from what MNSA can(not) build now.
+	am.sess.ClearDegraded()
+
+	cfg := am.MNSA
+	if cfg.Builder == nil && am.Guard != nil {
+		cfg.Builder = am.Guard
+	}
 	if q, ok := stmt.(*query.Select); ok {
-		if _, err := RunMNSA(am.sess, q, am.MNSA); err != nil {
+		r, err := RunMNSACtx(ctx, am.sess, q, cfg)
+		if err != nil {
 			return nil, err
+		}
+		if r.Degraded() {
+			am.DegradedStatements++
+			reg.Counter("degraded.statements").Inc()
 		}
 	}
 	res, err := am.ex.RunStatement(am.sess, stmt)
@@ -72,7 +109,11 @@ func (am *AutoManager) ProcessStatement(stmt query.Statement) (*executor.Result,
 
 	am.stmtCount++
 	if am.MaintenanceEvery > 0 && am.stmtCount%am.MaintenanceEvery == 0 {
-		if _, err := mgr.RunMaintenance(am.Policy); err != nil {
+		if am.Guard != nil {
+			if _, err := am.Guard.MaintainCtx(ctx, am.Policy); err != nil {
+				return nil, err
+			}
+		} else if _, err := mgr.RunMaintenanceCtx(ctx, am.Policy); err != nil {
 			return nil, err
 		}
 		am.MaintenanceRuns++
@@ -91,23 +132,40 @@ type TuneReport struct {
 	DropListed []stats.ID
 }
 
+// Degraded reports whether the creation phase ran degraded (some statistic
+// builds failed under a resilience Builder).
+func (r *TuneReport) Degraded() bool { return r.MNSA != nil && r.MNSA.Degraded() }
+
+// BuildFailures returns the creation phase's build failures, if any.
+func (r *TuneReport) BuildFailures() []BuildFailure {
+	if r.MNSA == nil {
+		return nil
+	}
+	return r.MNSA.BuildFailures
+}
+
 // OfflineTune implements the conservative §6 policy: an offline process runs
 // MNSA over every query of the workload, then the Shrinking Set algorithm
 // eliminates non-essential statistics, which are moved to the drop-list
 // (physical deletion remains a separate policy action). eq nil defaults to
 // execution-tree equivalence as in Figure 2.
 func OfflineTune(sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence) (*TuneReport, error) {
+	return OfflineTuneCtx(context.Background(), sess, queries, cfg, eq)
+}
+
+// OfflineTuneCtx is OfflineTune honoring cancellation in both phases.
+func OfflineTuneCtx(ctx context.Context, sess *optimizer.Session, queries []*query.Select, cfg Config, eq Equivalence) (*TuneReport, error) {
 	if eq == nil {
 		eq = ExecutionTree{}
 	}
 	rep := &TuneReport{}
-	wr, err := RunMNSAWorkload(sess, queries, cfg)
+	wr, err := RunMNSAWorkloadCtx(ctx, sess, queries, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rep.MNSA = wr
 
-	sr, err := ShrinkingSet(sess, queries, nil, eq)
+	sr, err := ShrinkingSetCtx(ctx, sess, queries, nil, eq)
 	if err != nil {
 		return nil, err
 	}

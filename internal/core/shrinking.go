@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -31,6 +32,14 @@ type ShrinkResult struct {
 // essential set produced depends on the order statistics are tested (§5.2);
 // statistics are tested in ascending ID order for determinism.
 func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []stats.ID, eq Equivalence) (*ShrinkResult, error) {
+	return ShrinkingSetCtx(context.Background(), sess, queries, initial, eq)
+}
+
+// ShrinkingSetCtx is ShrinkingSet honoring cancellation: ctx is checked
+// between baseline optimizations and between per-statistic probe rounds.
+// The algorithm only hides statistics (never mutates the manager), so a
+// canceled run leaves no partial state behind.
+func ShrinkingSetCtx(ctx context.Context, sess *optimizer.Session, queries []*query.Select, initial []stats.ID, eq Equivalence) (*ShrinkResult, error) {
 	mgr := sess.Manager()
 	if initial == nil {
 		for _, s := range mgr.All() {
@@ -60,6 +69,9 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 	defer sess.ClearIgnored()
 	baseline := make([]*optimizer.Plan, len(queries))
 	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := sess.Optimize(q)
 		if err != nil {
 			return nil, err
@@ -93,6 +105,9 @@ func ShrinkingSet(sess *optimizer.Session, queries []*query.Select, initial []st
 	}
 
 	for _, sid := range sorted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st := mgr.Get(sid)
 		if st == nil {
 			continue

@@ -23,8 +23,16 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 		return nil, fmt.Errorf("optimizer: %d tables exceeds the 16-table join limit", len(q.Tables))
 	}
 
+	// Degraded mode bypasses the cache in both directions: a degraded plan
+	// must never be served after statistics recover, and a healthy cached
+	// plan under the same key would mask that this statement's statistics
+	// were unavailable. Re-optimizing each time makes recovery automatic —
+	// the first Optimize after the session's degraded reasons clear produces
+	// (and caches) a healthy plan again.
+	degraded := len(s.degraded) > 0
+
 	var key planKey
-	if s.cache != nil {
+	if s.cache != nil && !degraded {
 		key = s.cacheKey(q.SQL())
 		if p, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
@@ -40,6 +48,14 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	}
 	s.met.optimizations.Inc()
 	s.met.optimizeLatency.Observe(time.Since(start))
+	if degraded {
+		p.Degraded = s.DegradedReasons()
+		s.met.degradedPlans.Inc()
+		if s.cache != nil {
+			s.met.cacheBypasses.Inc()
+		}
+		return p, nil
+	}
 	// Publish only if no statistics, data, or correction mutation raced with
 	// this optimization; a plan built from a torn read must not be cached.
 	if s.cache != nil && s.prov.Epoch() == key.epoch && s.prov.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {

@@ -165,7 +165,19 @@ type Plan struct {
 	// EstRows, so q-errors always measure the underlying statistics rather
 	// than the correction layer.
 	RawBaseRows map[string]float64
+	// Degraded lists why this plan was produced in degraded mode (sorted,
+	// deduplicated reasons like "stats-build:breaker-open"): a statistic the
+	// analysis wanted was unavailable, so the affected selectivity variables
+	// fell back to the default magic numbers of §4/§6. Degraded plans are
+	// still correct — only their cost estimates lean on magic numbers — and
+	// are never published to the plan cache, so the query re-optimizes to a
+	// non-degraded plan as soon as the statistics recover. Empty for
+	// healthy plans.
+	Degraded []string
 }
+
+// IsDegraded reports whether the plan was produced in degraded mode.
+func (p *Plan) IsDegraded() bool { return len(p.Degraded) > 0 }
 
 // Cost returns the estimated cost of the whole plan.
 func (p *Plan) Cost() float64 { return p.Root.Cost }

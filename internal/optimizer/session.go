@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 
 	"autostats/internal/obs"
 	"autostats/internal/stats"
@@ -30,9 +31,14 @@ type Session struct {
 
 	ignored   map[stats.ID]bool
 	overrides map[int]float64
-	cache     *PlanCache
-	corr      CorrectionSource
-	met       sessionMetrics
+	// degraded collects the reasons statistics could not be provided for
+	// the statement being processed (set by the resilience-aware MNSA
+	// driver, cleared per statement). While non-empty, Optimize tags plans
+	// Degraded and bypasses the plan cache in both directions.
+	degraded map[string]bool
+	cache    *PlanCache
+	corr     CorrectionSource
+	met      sessionMetrics
 }
 
 // sessionMetrics caches the session's observability handles. A session is
@@ -46,6 +52,8 @@ type sessionMetrics struct {
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	cacheEvictions  *obs.Counter
+	degradedPlans   *obs.Counter
+	cacheBypasses   *obs.Counter
 }
 
 func newSessionMetrics(reg *obs.Registry) sessionMetrics {
@@ -56,6 +64,8 @@ func newSessionMetrics(reg *obs.Registry) sessionMetrics {
 		cacheHits:       reg.Counter("optimizer.plancache.hits"),
 		cacheMisses:     reg.Counter("optimizer.plancache.misses"),
 		cacheEvictions:  reg.Counter("optimizer.plancache.evictions"),
+		degradedPlans:   reg.Counter("degraded.plans"),
+		cacheBypasses:   reg.Counter("degraded.plancache_bypasses"),
 	}
 }
 
@@ -156,3 +166,32 @@ func (s *Session) SetSelectivityOverrides(ov map[int]float64) {
 
 // ClearOverrides removes all selectivity overrides.
 func (s *Session) ClearOverrides() { s.overrides = make(map[int]float64) }
+
+// MarkDegraded records one reason the current statement is planned in
+// degraded mode (a statistic was unavailable — breaker open, build timeout,
+// build failure). While any reason is recorded, Optimize tags plans with the
+// reasons and bypasses the plan cache so the degraded plan is never reused
+// once statistics recover. The resilience-aware MNSA driver calls this;
+// ClearDegraded resets it at the next statement boundary.
+func (s *Session) MarkDegraded(reason string) {
+	if s.degraded == nil {
+		s.degraded = make(map[string]bool)
+	}
+	s.degraded[reason] = true
+}
+
+// ClearDegraded resets the degraded-mode reasons for a new statement.
+func (s *Session) ClearDegraded() { s.degraded = nil }
+
+// DegradedReasons returns the recorded reasons, sorted; nil when healthy.
+func (s *Session) DegradedReasons() []string {
+	if len(s.degraded) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s.degraded))
+	for r := range s.degraded {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,8 +1,10 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"autostats/internal/stats"
 	"autostats/internal/storage"
@@ -126,7 +128,7 @@ func (p *FaultyProvider) Database() *storage.Database { return p.mgr.Database() 
 func FailNextRefreshes(mgr *stats.Manager, n int) (fired func() int) {
 	var mu sync.Mutex
 	count := 0
-	mgr.SetFailpoint(func(op string, _ stats.ID) error {
+	mgr.SetFailpoint(func(_ context.Context, op string, _ stats.ID) error {
 		if op != "refresh" {
 			return nil
 		}
@@ -142,5 +144,59 @@ func FailNextRefreshes(mgr *stats.Manager, n int) (fired func() int) {
 		mu.Lock()
 		defer mu.Unlock()
 		return count
+	}
+}
+
+// FlakyFailpoint installs a fail-N-then-succeed failpoint: the first n
+// build/refresh operations fail with a TRANSIENT ErrInjected (so the retry
+// policy classifies them retryable), every operation after that succeeds.
+// It models a build path that recovers on its own — the scenario the
+// retry/backoff layer exists for. Returns a function reporting how many
+// injections fired.
+func FlakyFailpoint(mgr *stats.Manager, n int) (fired func() int) {
+	var mu sync.Mutex
+	count := 0
+	mgr.SetFailpoint(func(_ context.Context, _ string, _ stats.ID) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if count < n {
+			count++
+			return stats.Transient(ErrInjected)
+		}
+		return nil
+	})
+	return func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return count
+	}
+}
+
+// SlowFailpoint installs a latency-injecting failpoint: every build/refresh
+// stalls for d before proceeding, honoring the operation's context — a
+// deadline shorter than d aborts the build with the context's error and no
+// state mutated. It models a hung or overloaded build path, the scenario
+// per-build timeouts and degraded-mode planning exist for. Returns a
+// function reporting how many delays were cut short by cancellation.
+func SlowFailpoint(mgr *stats.Manager, d time.Duration) (timedOut func() int) {
+	var mu sync.Mutex
+	cut := 0
+	mgr.SetFailpoint(func(ctx context.Context, _ string, _ stats.ID) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			mu.Lock()
+			cut++
+			mu.Unlock()
+			return ctx.Err()
+		}
+	})
+	return func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return cut
 	}
 }

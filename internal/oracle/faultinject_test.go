@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -115,7 +116,7 @@ func TestCreateFailpointLeavesManagerClean(t *testing.T) {
 	epoch := mgr.Epoch()
 	acct := mgr.Snapshot()
 
-	mgr.SetFailpoint(func(op string, _ stats.ID) error {
+	mgr.SetFailpoint(func(_ context.Context, op string, _ stats.ID) error {
 		if op == "create" {
 			return ErrInjected
 		}

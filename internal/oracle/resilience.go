@@ -1,0 +1,139 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autostats/internal/core"
+	"autostats/internal/query"
+	"autostats/internal/resilience"
+	"autostats/internal/workload"
+)
+
+// DegradedReport summarizes one degraded-recovery sweep.
+type DegradedReport struct {
+	// Queries counts SELECTs checked per phase.
+	Queries int
+	// DegradedPlans counts queries planned degraded during the fault phase.
+	DegradedPlans int
+	// Injections counts failpoint firings during the fault phase.
+	Injections int
+	// BreakerTrips counts circuit breaker trips during the fault phase.
+	BreakerTrips int64
+	// Findings lists every oracle violation.
+	Findings []Finding
+}
+
+// RunDegradedRecovery checks the resilience layer's core promise end to end:
+// with every statistic build failing, queries must still plan (degraded, on
+// magic numbers) and return exactly the reference evaluator's results; once
+// builds recover, the same queries must re-optimize to non-degraded plans —
+// automatically, with no reset call — and still agree with the reference.
+//
+// The check drops all existing statistics first so the fault phase is
+// guaranteed to want builds; the recovery phase rebuilds what MNSA selects.
+func (h *Harness) RunDegradedRecovery(count int) (*DegradedReport, error) {
+	w, err := workload.Generate(h.DB, workload.Config{
+		Count:      count,
+		Complexity: h.Opts.complexity(),
+		GroupByPct: 30,
+		OrderByPct: 25,
+		Seed:       h.Opts.Seed + 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var queries []*query.Select
+	for _, stmt := range w.Statements {
+		if sel, ok := stmt.(*query.Select); ok {
+			queries = append(queries, sel)
+		}
+	}
+
+	for _, st := range h.Mgr.All() {
+		h.Mgr.Drop(st.ID)
+	}
+
+	const cooldown = time.Millisecond
+	guard := resilience.NewGuard(h.Mgr, resilience.GuardConfig{
+		Retry: resilience.Retry{
+			MaxAttempts: 2,
+			BaseDelay:   time.Microsecond,
+			// Backoffs are irrelevant to the oracle; skip the wall time.
+			Sleep: func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, Cooldown: cooldown},
+		Seed:    h.Opts.Seed,
+	})
+	cfg := core.DefaultConfig()
+	cfg.Builder = guard
+
+	rep := &DegradedReport{Queries: len(queries)}
+	ctx := context.Background()
+
+	// Fault phase: every build fails (transiently, so the retry layer is
+	// exercised too); results must still match the reference.
+	fired := FlakyFailpoint(h.Mgr, 1<<30)
+	for _, sel := range queries {
+		h.Sess.ClearDegraded()
+		if _, err := core.RunMNSACtx(ctx, h.Sess, sel, cfg); err != nil {
+			h.Mgr.SetFailpoint(nil)
+			return rep, fmt.Errorf("oracle: MNSA under faults (%s): %w", sel.SQL(), err)
+		}
+		degraded := len(h.Sess.DegradedReasons()) > 0
+		if degraded {
+			rep.DegradedPlans++
+		}
+		f, err := h.checkQuery(sel)
+		if err != nil {
+			h.Mgr.SetFailpoint(nil)
+			return rep, fmt.Errorf("oracle: degraded query (%s): %w", sel.SQL(), err)
+		}
+		if f != nil && f.Detail != "budget" {
+			f.Oracle = "degraded-differential"
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	rep.Injections = fired()
+	for _, ts := range guard.Breakers().States() {
+		rep.BreakerTrips += ts.Trips
+	}
+	if rep.DegradedPlans == 0 && rep.Injections == 0 && len(queries) > 0 {
+		rep.Findings = append(rep.Findings, Finding{
+			Oracle: "degraded-recovery",
+			Seed:   h.Opts.Seed,
+			Detail: "fault phase exercised nothing: no injections fired and no plan degraded",
+		})
+	}
+
+	// Recovery phase: builds succeed again. After the breaker cooldown, the
+	// first ensure per table is the half-open probe; its success must close
+	// the breaker and yield non-degraded plans with no explicit reset.
+	h.Mgr.SetFailpoint(nil)
+	time.Sleep(5 * cooldown)
+	for _, sel := range queries {
+		h.Sess.ClearDegraded()
+		if _, err := core.RunMNSACtx(ctx, h.Sess, sel, cfg); err != nil {
+			return rep, fmt.Errorf("oracle: MNSA after recovery (%s): %w", sel.SQL(), err)
+		}
+		if reasons := h.Sess.DegradedReasons(); len(reasons) > 0 {
+			rep.Findings = append(rep.Findings, Finding{
+				Oracle: "degraded-recovery",
+				Seed:   h.Opts.Seed,
+				SQL:    sel.SQL(),
+				Detail: fmt.Sprintf("plan still degraded after builds recovered: %v", reasons),
+			})
+			continue
+		}
+		f, err := h.checkQuery(sel)
+		if err != nil {
+			return rep, fmt.Errorf("oracle: recovered query (%s): %w", sel.SQL(), err)
+		}
+		if f != nil && f.Detail != "budget" {
+			f.Oracle = "recovered-differential"
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,31 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// TestDegradedRecoveryOracle runs the graceful-degradation oracle: under a
+// permanently flaky build path every query must still return correct results
+// on degraded plans, and after the fault clears the same queries must
+// re-optimize to healthy plans. Any finding is a real correctness or
+// recovery failure.
+func TestDegradedRecoveryOracle(t *testing.T) {
+	h, err := New(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.RunDegradedRecovery(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFindings(t, "degraded-recovery", rep.Findings)
+	if rep.Injections == 0 {
+		t.Error("fault phase injected nothing — the oracle is vacuous")
+	}
+	if rep.DegradedPlans == 0 {
+		t.Error("no degraded plans observed under a hard-down build path")
+	}
+	if rep.Queries == 0 {
+		t.Error("oracle ran zero queries")
+	}
+}

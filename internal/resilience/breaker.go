@@ -1,0 +1,309 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+)
+
+// State is a circuit breaker state.
+type State int
+
+// The classic three states. Closed passes operations through; Open rejects
+// them outright until the cooldown elapses; HalfOpen admits a single probe
+// whose outcome decides between reset (closed) and re-trip (open).
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes one circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold trips the breaker after this many consecutive
+	// failures; <= 0 means 3.
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe; <= 0 means 30s.
+	Cooldown time.Duration
+	// Now replaces time.Now for deterministic tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a single circuit breaker: closed → open after
+// FailureThreshold consecutive failures, open → half-open after Cooldown,
+// half-open → closed on probe success / → open on probe failure. It is safe
+// for concurrent use; while half-open, only one in-flight probe is admitted.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu           sync.Mutex
+	state        State
+	failures     int // consecutive failures while closed
+	openedAt     time.Time
+	probing      bool // half-open probe in flight
+	trips        int64
+	onTransition func(from, to State) // called outside the lock
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether an operation may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits the caller as the
+// probe; until that probe resolves via Success or Failure, further callers
+// are rejected.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var from, to State
+	notify := false
+	allowed := false
+	switch b.state {
+	case Closed:
+		allowed = true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			from, to = b.state, HalfOpen
+			b.state, b.probing, notify = HalfOpen, true, true
+			allowed = true
+		}
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	if notify && b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+	return allowed
+}
+
+// Success records a successful operation: the failure streak resets and a
+// half-open breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	var from, to State
+	notify := false
+	b.failures = 0
+	if b.state != Closed {
+		from, to = b.state, Closed
+		notify = true
+	}
+	b.state, b.probing = Closed, false
+	b.mu.Unlock()
+	if notify && b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Failure records a failed operation. Reports whether this failure tripped
+// the breaker open (from closed at threshold, or a failed half-open probe).
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	var from State
+	tripped := false
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			from, tripped = b.state, true
+		}
+	case HalfOpen:
+		from, tripped = b.state, true
+	case Open:
+		// Late failure from before the trip; nothing to do.
+	}
+	if tripped {
+		b.state, b.probing = Open, false
+		b.failures = 0
+		b.openedAt = b.cfg.Now()
+		b.trips++
+	}
+	b.mu.Unlock()
+	if tripped && b.onTransition != nil {
+		b.onTransition(from, Open)
+	}
+	return tripped
+}
+
+// ReleaseProbe abandons a half-open probe without a verdict: the breaker
+// stays half-open and the next Allow admits a fresh probe. Used when the
+// probing operation was canceled by its caller — cancellation says nothing
+// about the table's health. No-op in other states.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+	}
+}
+
+// State returns the current state without side effects: an open breaker past
+// its cooldown still reports Open until an Allow call promotes it.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// BreakerSet manages one breaker per table, lazily created with a shared
+// config, and mirrors their activity to observability:
+//
+//	resilience.breaker.trips              counter, all trips
+//	resilience.breaker.trips.<cause>      counter per trip cause
+//	resilience.breaker.rejects            counter, operations rejected
+//	resilience.breaker.open               gauge, breakers currently open
+//	resilience.breaker.state.<table>      gauge, 0=closed 1=half-open 2=open
+type BreakerSet struct {
+	cfg BreakerConfig
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	byTable map[string]*Breaker
+}
+
+// NewBreakerSet creates an empty set. reg nil falls back to obs.Default.
+func NewBreakerSet(cfg BreakerConfig, reg *obs.Registry) *BreakerSet {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &BreakerSet{cfg: cfg, reg: reg, byTable: make(map[string]*Breaker)}
+}
+
+// For returns the table's breaker, creating it closed on first use.
+func (s *BreakerSet) For(table string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.byTable[table]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		stateGauge := s.reg.Gauge("resilience.breaker.state." + table)
+		openGauge := s.reg.Gauge("resilience.breaker.open")
+		b.onTransition = func(from, to State) {
+			stateGauge.Set(int64(to))
+			if to == Open {
+				openGauge.Add(1)
+			} else if from == Open {
+				openGauge.Add(-1)
+			}
+		}
+		s.byTable[table] = b
+	}
+	return b
+}
+
+// Failure records a failed operation on the table's breaker, attributing any
+// resulting trip to the cause classified from err. Reports whether the
+// breaker tripped.
+func (s *BreakerSet) Failure(table string, err error) bool {
+	tripped := s.For(table).Failure()
+	if tripped {
+		s.reg.Counter("resilience.breaker.trips").Inc()
+		s.reg.Counter("resilience.breaker.trips." + Reason(err)).Inc()
+	}
+	return tripped
+}
+
+// Reject records one rejected operation (breaker open).
+func (s *BreakerSet) Reject() { s.reg.Counter("resilience.breaker.rejects").Inc() }
+
+// States snapshots the per-table breaker states, sorted by table name.
+func (s *BreakerSet) States() []TableState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TableState, 0, len(s.byTable))
+	for t, b := range s.byTable {
+		out = append(out, TableState{Table: t, State: b.State(), Trips: b.Trips()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// TableState is one breaker's snapshot in BreakerSet.States.
+type TableState struct {
+	Table string
+	State State
+	Trips int64
+}
+
+// BreakerOpenError reports an operation rejected because the table's
+// circuit breaker is open. It is the "statistic unavailable" signal the
+// degraded-mode planner keys on.
+type BreakerOpenError struct {
+	Table string
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit breaker open for table %s", e.Table)
+}
+
+// IsBreakerOpen reports whether err is (or wraps) a BreakerOpenError.
+func IsBreakerOpen(err error) bool {
+	var be *BreakerOpenError
+	return errors.As(err, &be)
+}
+
+// Reason classifies why a statistics operation failed, for degraded-plan
+// tagging and trip-cause counters: "breaker-open", "timeout" (deadline
+// exceeded), "canceled", "transient", or "error" (permanent).
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case IsBreakerOpen(err):
+		return "breaker-open"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case stats.IsTransient(err):
+		return "transient"
+	default:
+		return "error"
+	}
+}

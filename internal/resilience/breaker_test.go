@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+)
+
+// fakeClock is a manually advanced time source for cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		Now:              clk.now,
+	}), clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure(); tripped {
+			t.Fatalf("failure %d tripped below threshold", i+1)
+		}
+		if !b.Allow() {
+			t.Fatalf("breaker rejected while closed after %d failures", i+1)
+		}
+	}
+	if !b.Failure() {
+		t.Fatal("third failure must trip")
+	}
+	if b.State() != Open || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after trip", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker within cooldown must reject")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+	if !b.Failure() {
+		t.Fatal("third consecutive failure after reset must trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeDiscipline(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: breaker must admit a half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+
+	// Failed probe re-trips and restarts the cooldown.
+	if !b.Failure() {
+		t.Fatal("failed half-open probe must trip")
+	}
+	if b.Allow() {
+		t.Fatal("re-tripped breaker admitted without a fresh cooldown")
+	}
+
+	// Successful probe closes.
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: probe must be admitted")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state=%v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+func TestBreakerReleaseProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	// The probe was canceled: no verdict. The next caller becomes the probe.
+	b.ReleaseProbe()
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v after release, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot must admit a fresh probe")
+	}
+	if b.Allow() {
+		t.Fatal("only one probe at a time")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b, _ := testBreaker(5, time.Nanosecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != Closed && s != HalfOpen && s != Open {
+		t.Fatalf("invalid state %v after concurrent churn", s)
+	}
+}
+
+func TestBreakerSetObservability(t *testing.T) {
+	reg := obs.New()
+	set := NewBreakerSet(BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute}, reg)
+
+	set.Failure("orders", stats.Transient(errors.New("x")))
+	if got := reg.Counter("resilience.breaker.trips").Value(); got != 0 {
+		t.Fatalf("trip counter before threshold = %d", got)
+	}
+	if !set.Failure("orders", stats.Transient(errors.New("x"))) {
+		t.Fatal("second failure must trip")
+	}
+	if got := reg.Counter("resilience.breaker.trips").Value(); got != 1 {
+		t.Errorf("trips counter = %d, want 1", got)
+	}
+	if got := reg.Counter("resilience.breaker.trips.transient").Value(); got != 1 {
+		t.Errorf("cause-attributed trips counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("resilience.breaker.open").Value(); got != 1 {
+		t.Errorf("open gauge = %d, want 1", got)
+	}
+	if got := reg.Gauge("resilience.breaker.state.orders").Value(); got != int64(Open) {
+		t.Errorf("state gauge = %d, want %d", got, Open)
+	}
+	set.Reject()
+	if got := reg.Counter("resilience.breaker.rejects").Value(); got != 1 {
+		t.Errorf("rejects counter = %d, want 1", got)
+	}
+
+	set.For("orders").Success()
+	if got := reg.Gauge("resilience.breaker.open").Value(); got != 0 {
+		t.Errorf("open gauge after recovery = %d, want 0", got)
+	}
+	states := set.States()
+	if len(states) != 1 || states[0].Table != "orders" || states[0].State != Closed || states[0].Trips != 1 {
+		t.Errorf("States() = %+v", states)
+	}
+}
+
+func TestReasonClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&BreakerOpenError{Table: "t"}, "breaker-open"},
+		{context.DeadlineExceeded, "timeout"},
+		{context.Canceled, "canceled"},
+		// A timed-out attempt reclassified transient for the retry layer must
+		// still REPORT as a timeout: the deadline check wins.
+		{stats.Transient(context.DeadlineExceeded), "timeout"},
+		{stats.Transient(errors.New("x")), "transient"},
+		{errors.New("x"), "error"},
+	}
+	for _, c := range cases {
+		if got := Reason(c.err); got != c.want {
+			t.Errorf("Reason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

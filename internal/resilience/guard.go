@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"context"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+)
+
+// GuardConfig parameterizes a Guard.
+type GuardConfig struct {
+	// Retry is the per-operation retry policy. The zero value means
+	// DefaultRetry (seeded from Seed). Retry.Seed is ignored: the Guard
+	// derives a per-table seed from Seed so concurrent tables get
+	// independent but reproducible jitter streams.
+	Retry Retry
+	// Breaker configures the per-table circuit breakers.
+	Breaker BreakerConfig
+	// BuildTimeout bounds each individual build/refresh attempt; the
+	// deadline is layered under the caller's context. Zero disables the
+	// per-attempt bound (the caller's context still applies).
+	BuildTimeout time.Duration
+	// Seed drives all deterministic jitter in the Guard.
+	Seed int64
+}
+
+// Guard wraps a stats.Manager with the resilience stack: every build or
+// refresh goes through the table's circuit breaker, is retried per the
+// policy on transient failure, and is individually bounded by BuildTimeout.
+// A statistic the Guard cannot provide comes back with a classifiable error
+// (BreakerOpenError, context.DeadlineExceeded, the transient wrapper) that
+// the degraded-mode planner maps to a magic-number fallback — the query
+// never fails because its statistics infrastructure did.
+//
+// Reads are unaffected: the Guard only fronts mutating operations. It is
+// safe for concurrent use.
+type Guard struct {
+	mgr      *stats.Manager
+	cfg      GuardConfig
+	breakers *BreakerSet
+	reg      *obs.Registry
+}
+
+// NewGuard wraps mgr. Observability goes to the manager's registry.
+func NewGuard(mgr *stats.Manager, cfg GuardConfig) *Guard {
+	reg := mgr.ObsRegistry()
+	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseDelay == 0 {
+		cfg.Retry = DefaultRetry(cfg.Seed)
+	}
+	return &Guard{
+		mgr:      mgr,
+		cfg:      cfg,
+		breakers: NewBreakerSet(cfg.Breaker, reg),
+		reg:      reg,
+	}
+}
+
+// Manager returns the wrapped statistics manager.
+func (g *Guard) Manager() *stats.Manager { return g.mgr }
+
+// Breakers exposes the per-table breaker set for inspection and reporting.
+func (g *Guard) Breakers() *BreakerSet { return g.breakers }
+
+// retryFor builds the table's retry policy: the shared policy with a seed
+// derived from (Seed, table), so each table's jitter stream is independent
+// yet reproducible, and with the obs hook attached.
+func (g *Guard) retryFor(table string) Retry {
+	r := g.cfg.Retry
+	h := fnv.New64a()
+	h.Write([]byte(table))
+	r.Seed = g.cfg.Seed ^ int64(h.Sum64())
+	attempts := g.reg.Counter("resilience.retry.attempts")
+	r.OnRetry = func(int, error, time.Duration) { attempts.Inc() }
+	return r
+}
+
+// attempt runs op once under the per-attempt BuildTimeout. An attempt that
+// ran out of its own budget (deadline exceeded with the caller's context
+// still live) is reclassified transient so the retry policy gives the build
+// another chance; exceeding the caller's deadline propagates untouched.
+func (g *Guard) attempt(ctx context.Context, op func(ctx context.Context) error) error {
+	actx := ctx
+	if g.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, g.cfg.BuildTimeout)
+		defer cancel()
+	}
+	err := op(actx)
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		err = stats.Transient(err)
+	}
+	return err
+}
+
+// EnsureCtx is stats.Manager.EnsureCtx behind the resilience stack. An
+// already-existing (or resurrectable) statistic is returned directly — the
+// breaker only gates physical builds. It satisfies the optimizer core's
+// StatBuilder seam.
+func (g *Guard) EnsureCtx(ctx context.Context, table string, cols []string) (*stats.Statistic, bool, error) {
+	id := stats.MakeID(table, cols)
+	if g.mgr.Has(id) {
+		return g.mgr.EnsureCtx(ctx, table, cols)
+	}
+	key := strings.ToLower(table)
+	b := g.breakers.For(key)
+	if !b.Allow() {
+		g.breakers.Reject()
+		g.reg.Counter("resilience.ensure.failures").Inc()
+		return nil, false, &BreakerOpenError{Table: key}
+	}
+	var (
+		st    *stats.Statistic
+		built bool
+	)
+	err := g.retryFor(key).Do(ctx, func(ctx context.Context) error {
+		return g.attempt(ctx, func(ctx context.Context) error {
+			var aerr error
+			st, built, aerr = g.mgr.EnsureCtx(ctx, table, cols)
+			return aerr
+		})
+	})
+	g.settle(ctx, key, err)
+	if err != nil {
+		g.reg.Counter("resilience.ensure.failures").Inc()
+		return nil, false, err
+	}
+	return st, built, nil
+}
+
+// RefreshCtx is stats.Manager.RefreshCtx behind the resilience stack.
+func (g *Guard) RefreshCtx(ctx context.Context, id stats.ID) error {
+	key := id.Table()
+	b := g.breakers.For(key)
+	if !b.Allow() {
+		g.breakers.Reject()
+		g.reg.Counter("resilience.refresh.failures").Inc()
+		return &BreakerOpenError{Table: key}
+	}
+	err := g.retryFor(key).Do(ctx, func(ctx context.Context) error {
+		return g.attempt(ctx, func(ctx context.Context) error {
+			return g.mgr.RefreshCtx(ctx, id)
+		})
+	})
+	g.settle(ctx, key, err)
+	if err != nil {
+		g.reg.Counter("resilience.refresh.failures").Inc()
+	}
+	return err
+}
+
+// settle resolves one gated operation's outcome on the table's breaker.
+// Caller cancellation — including the caller's own deadline expiring — is not
+// a table-health signal: the probe (if any) is released without a verdict
+// rather than counted as a failure. Only failures with the caller still live
+// (including per-attempt BuildTimeout exhaustion) indict the table.
+func (g *Guard) settle(ctx context.Context, table string, err error) {
+	switch {
+	case err == nil:
+		g.breakers.For(table).Success()
+	case ctx.Err() != nil || Reason(err) == "canceled":
+		g.breakers.For(table).ReleaseProbe()
+	default:
+		g.breakers.Failure(table, err)
+	}
+}
+
+// MaintainCtx runs one maintenance pass through the resilience stack:
+// tables with an open breaker are skipped (counted in the report), other
+// failures are tolerated per-table instead of aborting the pass, and every
+// outcome feeds the table's breaker — a recovered table closes its breaker
+// on the first successful maintenance refresh.
+func (g *Guard) MaintainCtx(ctx context.Context, p stats.MaintenancePolicy) (stats.MaintenanceReport, error) {
+	p.TolerateFailures = true
+	prevSkip := p.SkipTable
+	admitted := make(map[string]bool)
+	p.SkipTable = func(table string) bool {
+		if prevSkip != nil && prevSkip(table) {
+			return true
+		}
+		key := strings.ToLower(table)
+		if admitted[key] {
+			return false
+		}
+		if !g.breakers.For(key).Allow() {
+			g.breakers.Reject()
+			return true
+		}
+		admitted[key] = true
+		return false
+	}
+	rep, err := g.mgr.RunMaintenanceCtx(ctx, p)
+
+	failed := make(map[string]error, len(rep.RefreshFailures))
+	for _, f := range rep.RefreshFailures {
+		failed[f.Table] = f.Err
+	}
+	refreshed := make(map[string]bool, len(rep.RefreshedTables))
+	for _, t := range rep.RefreshedTables {
+		refreshed[t] = true
+	}
+	for key := range admitted {
+		switch {
+		case failed[key] != nil:
+			g.settle(ctx, key, failed[key])
+		case refreshed[key]:
+			g.breakers.For(key).Success()
+		default:
+			// Admitted but neither refreshed nor failed: the pass was cut
+			// short (cancellation) or the table had nothing to rebuild.
+			// Release any half-open probe without a verdict.
+			g.breakers.For(key).ReleaseProbe()
+		}
+	}
+	return rep, err
+}

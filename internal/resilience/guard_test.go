@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+func testManager(t *testing.T) *stats.Manager {
+	t.Helper()
+	schema := catalog.NewSchema()
+	if err := schema.AddTable(catalog.NewTable("t",
+		catalog.Column{Name: "a", Type: catalog.Int},
+		catalog.Column{Name: "b", Type: catalog.Int},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.NewDatabase("db", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := td.Insert(storage.Row{catalog.NewInt(int64(i % 10)), catalog.NewInt(int64(i % 4))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := stats.NewManager(db, histogram.MaxDiff, 0)
+	m.SetObsRegistry(obs.New())
+	return m
+}
+
+func fastGuard(mgr *stats.Manager, cfg GuardConfig) *Guard {
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = Retry{MaxAttempts: 3}
+	}
+	cfg.Retry.Sleep = noSleep
+	return NewGuard(mgr, cfg)
+}
+
+func TestGuardRetriesTransientBuild(t *testing.T) {
+	mgr := testManager(t)
+	fails := 2
+	mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		if fails > 0 {
+			fails--
+			return stats.Transient(errors.New("injected"))
+		}
+		return nil
+	})
+	g := fastGuard(mgr, GuardConfig{})
+	st, built, err := g.EnsureCtx(context.Background(), "t", []string{"a"})
+	if err != nil || !built || st == nil {
+		t.Fatalf("EnsureCtx after transient failures: st=%v built=%v err=%v", st, built, err)
+	}
+	reg := mgr.ObsRegistry()
+	if got := reg.Counter("resilience.retry.attempts").Value(); got != 2 {
+		t.Errorf("retry attempts counter = %d, want 2", got)
+	}
+	if got := g.Breakers().For("t").State(); got != Closed {
+		t.Errorf("breaker state after recovery = %v", got)
+	}
+	// Existing statistics bypass the breaker entirely.
+	mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		return errors.New("must not be reached for existing stats")
+	})
+	if _, _, err := g.EnsureCtx(context.Background(), "t", []string{"a"}); err != nil {
+		t.Errorf("existing statistic must pass through: %v", err)
+	}
+}
+
+func TestGuardBreakerOpensAndRejects(t *testing.T) {
+	mgr := testManager(t)
+	calls := 0
+	mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		calls++
+		return errors.New("permanent")
+	})
+	g := fastGuard(mgr, GuardConfig{
+		Retry:   Retry{MaxAttempts: 1},
+		Breaker: BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, _, err := g.EnsureCtx(ctx, "t", []string{"a"}); err == nil {
+			t.Fatalf("build %d should fail", i)
+		}
+	}
+	callsBefore := calls
+	_, _, err := g.EnsureCtx(ctx, "t", []string{"a"})
+	if !IsBreakerOpen(err) {
+		t.Fatalf("third build: err=%v, want BreakerOpenError", err)
+	}
+	if calls != callsBefore {
+		t.Error("open breaker must reject without touching the build path")
+	}
+	reg := mgr.ObsRegistry()
+	if got := reg.Counter("resilience.breaker.rejects").Value(); got != 1 {
+		t.Errorf("rejects counter = %d, want 1", got)
+	}
+	// The rejected call also counts as an ensure failure for the caller.
+	if got := reg.Counter("resilience.ensure.failures").Value(); got != 3 {
+		t.Errorf("ensure failures counter = %d, want 3", got)
+	}
+}
+
+func TestGuardBuildTimeoutIsTransientAndReported(t *testing.T) {
+	mgr := testManager(t)
+	attempts := 0
+	mgr.SetFailpoint(func(ctx context.Context, _ string, _ stats.ID) error {
+		attempts++
+		<-ctx.Done() // stall until the per-attempt deadline fires
+		return ctx.Err()
+	})
+	g := fastGuard(mgr, GuardConfig{
+		Retry:        Retry{MaxAttempts: 2},
+		BuildTimeout: 2 * time.Millisecond,
+	})
+	_, _, err := g.EnsureCtx(context.Background(), "t", []string{"a"})
+	if err == nil {
+		t.Fatal("stalled build must fail")
+	}
+	if Reason(err) != "timeout" {
+		t.Errorf("Reason = %q, want timeout (err=%v)", Reason(err), err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d — per-attempt timeout must be retryable while the caller ctx is live", attempts)
+	}
+}
+
+func TestGuardCallerCancellationDoesNotFeedBreaker(t *testing.T) {
+	mgr := testManager(t)
+	mgr.SetFailpoint(func(ctx context.Context, _ string, _ stats.ID) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	g := fastGuard(mgr, GuardConfig{Breaker: BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, _, err := g.EnsureCtx(ctx, "t", []string{"a"})
+	if err == nil {
+		t.Fatal("canceled build must fail")
+	}
+	b := g.Breakers().For("t")
+	if b.State() != Closed || b.Trips() != 0 {
+		t.Errorf("caller cancellation fed the breaker: state=%v trips=%d", b.State(), b.Trips())
+	}
+}
+
+func TestGuardRefreshCtx(t *testing.T) {
+	mgr := testManager(t)
+	st, err := mgr.Create("t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fastGuard(mgr, GuardConfig{Breaker: BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}})
+	if err := g.RefreshCtx(context.Background(), st.ID); err != nil {
+		t.Fatalf("healthy refresh: %v", err)
+	}
+	mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		return errors.New("permanent")
+	})
+	if err := g.RefreshCtx(context.Background(), st.ID); err == nil {
+		t.Fatal("failing refresh must error")
+	}
+	if err := g.RefreshCtx(context.Background(), st.ID); !IsBreakerOpen(err) {
+		t.Fatalf("tripped table must reject refreshes too, got %v", err)
+	}
+	// One real failure plus one breaker rejection.
+	if got := mgr.ObsRegistry().Counter("resilience.refresh.failures").Value(); got != 2 {
+		t.Errorf("refresh failures counter = %d, want 2", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package resilience hardens the automated statistics pipeline against the
+// failure modes a production optimizer must absorb: statistic builds that fail
+// transiently, build paths that hang, and tables whose statistics
+// infrastructure is persistently broken. It supplies three composable layers —
+// a deterministic retry/backoff policy, per-table circuit breakers, and a
+// Guard that wraps the stats.Manager with both plus per-build timeouts — and
+// feeds the optimizer's degraded-mode planning: when a statistic cannot be
+// provided, the query still plans and runs, falling back to the paper's
+// default magic-number selectivities (§4, §6) for exactly the affected
+// predicates instead of failing.
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"autostats/internal/stats"
+)
+
+// Retry is a capped-exponential-backoff retry policy. Only failures
+// classified transient (stats.IsTransient) are retried; permanent failures
+// and context cancellation propagate immediately. The jitter stream is
+// seeded, so a given (policy, Seed) pair always produces the same backoff
+// schedule — reruns of a failure scenario are reproducible.
+//
+// The zero value performs a single attempt with no retries.
+type Retry struct {
+	// MaxAttempts bounds total attempts, including the first; values <= 1
+	// mean no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff after multiplication; <= 0 means uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between retries; values < 1 are treated
+	// as 2 (the conventional doubling).
+	Multiplier float64
+	// JitterFrac randomizes each backoff within ±JitterFrac of itself
+	// (clamped to [0, 1]). Zero disables jitter.
+	JitterFrac float64
+	// Seed drives the deterministic jitter stream.
+	Seed int64
+	// Sleep, when non-nil, replaces the context-aware sleep between
+	// attempts. Tests inject a recorder to assert schedules without waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes each retry decision: the attempt
+	// number that just failed (1-based), its error, and the backoff chosen.
+	// The Guard wires obs counters here.
+	OnRetry func(attempt int, err error, backoff time.Duration)
+}
+
+// DefaultRetry is a modest production-shaped policy: 3 attempts, 10ms base
+// doubling to a 250ms cap, 25% jitter.
+func DefaultRetry(seed int64) Retry {
+	return Retry{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.25,
+		Seed:        seed,
+	}
+}
+
+// Schedule returns the backoff delays the policy would use between attempts
+// (length max(MaxAttempts-1, 0)). It is a pure function of the policy fields
+// including Seed: two calls on equal policies return equal schedules, which
+// is the determinism contract Do inherits.
+func (r Retry) Schedule() []time.Duration {
+	n := r.MaxAttempts - 1
+	if n <= 0 {
+		return nil
+	}
+	mult := r.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	jit := r.JitterFrac
+	if jit < 0 {
+		jit = 0
+	}
+	if jit > 1 {
+		jit = 1
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	out := make([]time.Duration, n)
+	d := float64(r.BaseDelay)
+	for i := 0; i < n; i++ {
+		b := d
+		if r.MaxDelay > 0 && b > float64(r.MaxDelay) {
+			b = float64(r.MaxDelay)
+		}
+		if jit > 0 {
+			// Uniform in [b·(1−jit), b·(1+jit)]; one rng draw per slot keeps
+			// the schedule a stable function of (policy, Seed).
+			b *= 1 - jit + 2*jit*rng.Float64()
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[i] = time.Duration(b)
+		d *= mult
+	}
+	return out
+}
+
+// Do runs fn, retrying transient failures per the policy. The backoff
+// schedule is computed once up front (see Schedule); between attempts Do
+// sleeps context-aware, so cancellation cuts a backoff short and returns
+// ctx.Err(). Non-transient errors, context errors, and exhaustion all return
+// the last error from fn (the transient wrapper intact, so callers can still
+// classify).
+func (r Retry) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	sched := r.Schedule()
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		err = fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if !stats.IsTransient(err) || attempt >= len(sched) {
+			return err
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt+1, err, sched[attempt])
+		}
+		if serr := sleep(ctx, sched[attempt]); serr != nil {
+			return err
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,175 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"autostats/internal/stats"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := DefaultRetry(7)
+	p.MaxAttempts = 6
+	a, b := p.Schedule(), p.Schedule()
+	if len(a) != 5 {
+		t.Fatalf("schedule length = %d, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("slot %d: %v != %v — schedule must be a pure function of (policy, seed)", i, a[i], b[i])
+		}
+	}
+	p2 := p
+	p2.Seed = 8
+	c := p2.Schedule()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestScheduleBoundsAndCap(t *testing.T) {
+	p := Retry{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.25,
+		Seed:        42,
+	}
+	sched := p.Schedule()
+	base := float64(10 * time.Millisecond)
+	for i, d := range sched {
+		b := base
+		if b > float64(250*time.Millisecond) {
+			b = float64(250 * time.Millisecond)
+		}
+		lo, hi := time.Duration(b*0.75), time.Duration(b*1.25)
+		if d < lo || d > hi {
+			t.Errorf("slot %d: %v outside jitter band [%v, %v]", i, d, lo, hi)
+		}
+		base *= 2
+	}
+	// The tail must be capped: slot 7 would be 1280ms uncapped.
+	last := sched[len(sched)-1]
+	if last > time.Duration(1.25*float64(250*time.Millisecond)) {
+		t.Errorf("cap not applied: last backoff %v", last)
+	}
+}
+
+func TestScheduleZeroValue(t *testing.T) {
+	if s := (Retry{}).Schedule(); s != nil {
+		t.Errorf("zero policy should have no backoffs, got %v", s)
+	}
+	if s := (Retry{MaxAttempts: 1}).Schedule(); s != nil {
+		t.Errorf("single attempt should have no backoffs, got %v", s)
+	}
+}
+
+// noSleep replaces the backoff sleep so tests run instantly.
+func noSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	permanent := errors.New("permanent")
+	p := Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, Sleep: noSleep}
+
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Errorf("permanent error: calls=%d err=%v — must not retry", calls, err)
+	}
+
+	calls = 0
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return stats.Transient(permanent)
+	})
+	if calls != 3 {
+		t.Errorf("transient error: calls=%d, want all 3 attempts", calls)
+	}
+	if !stats.IsTransient(err) || !errors.Is(err, permanent) {
+		t.Errorf("exhaustion must return the last error intact, got %v", err)
+	}
+
+	calls = 0
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return stats.Transient(permanent)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("recovery on final attempt: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoRespectsContext(t *testing.T) {
+	p := Retry{MaxAttempts: 5, BaseDelay: time.Millisecond, Sleep: noSleep}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Errorf("pre-canceled ctx: calls=%d err=%v", calls, err)
+	}
+
+	// Cancellation during the backoff returns the attempt's error, not a bare
+	// ctx error, so callers can still classify what failed.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	boom := stats.Transient(errors.New("boom"))
+	p2 := p
+	p2.Sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel2()
+		return ctx.Err()
+	}
+	err = p2.Do(ctx2, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("cancel during backoff: err=%v, want the attempt error", err)
+	}
+}
+
+func TestDoOnRetryMatchesSchedule(t *testing.T) {
+	p := DefaultRetry(99)
+	p.MaxAttempts = 4
+	p.Sleep = noSleep
+	want := p.Schedule()
+
+	var attempts []int
+	var backoffs []time.Duration
+	p.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		if !stats.IsTransient(err) {
+			t.Errorf("OnRetry saw non-transient error %v", err)
+		}
+		attempts = append(attempts, attempt)
+		backoffs = append(backoffs, backoff)
+	}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return stats.Transient(errors.New("x"))
+	})
+	if len(attempts) != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", len(attempts))
+	}
+	for i, a := range attempts {
+		if a != i+1 {
+			t.Errorf("attempt numbering: got %v", attempts)
+			break
+		}
+	}
+	for i := range backoffs {
+		if backoffs[i] != want[i] {
+			t.Errorf("backoff %d: Do used %v, Schedule says %v", i, backoffs[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"strings"
 	"time"
 )
@@ -41,6 +42,19 @@ type MaintenancePolicy struct {
 	// non-essential, feedback confirms the estimates hold up, so the drop is
 	// confidence-boosted rather than waiting out MaxUpdates refresh cycles.
 	FeedbackConfirmDrop bool
+
+	// TolerateFailures turns per-table refresh failures from pass-aborting
+	// errors into recorded RefreshFailures: the pass skips the failing table
+	// (leaving its modification counter intact so a later pass retries) and
+	// keeps maintaining the rest. The resilience layer sets this so one
+	// failing build path cannot starve every other table of maintenance.
+	// Cancellation still aborts the pass.
+	TolerateFailures bool
+	// SkipTable, when non-nil, is consulted before refreshing a table; a
+	// true return skips it (counted in TablesSkipped). The resilience layer
+	// uses it to keep maintenance from hammering tables whose circuit
+	// breaker is open.
+	SkipTable func(table string) bool
 }
 
 // DefaultMaintenancePolicy mirrors the paper's recommended configuration.
@@ -63,6 +77,18 @@ func DefaultFeedbackPolicy() MaintenancePolicy {
 	return p
 }
 
+// RefreshFailure records one refresh the pass could not complete under
+// MaintenancePolicy.TolerateFailures: the table (and statistic, for the
+// feedback path), and the underlying cause — preserved unwrapped-able so the
+// resilience layer can classify it transient or permanent.
+type RefreshFailure struct {
+	Table string
+	// Stat is the specific statistic for feedback-path failures; empty when
+	// a whole-table counter-driven refresh failed.
+	Stat ID
+	Err  error
+}
+
 // MaintenanceReport summarizes one maintenance pass.
 type MaintenanceReport struct {
 	TablesRefreshed int
@@ -76,6 +102,21 @@ type MaintenanceReport struct {
 	// feedback confirmation (accurate estimates, FeedbackConfirmDrop set).
 	StatsDropConfirmed int
 	UpdateCostUnits    float64
+
+	// RefreshedTables names the tables this pass counter-refreshed, in
+	// schema order (the resilience layer feeds them to breaker resets).
+	RefreshedTables []string
+	// TablesSkipped counts tables the SkipTable hook excluded.
+	TablesSkipped int
+	// RefreshFailures lists refreshes tolerated under TolerateFailures; the
+	// pass is degraded when non-empty.
+	RefreshFailures []RefreshFailure
+}
+
+// Degraded reports whether the pass completed in degraded mode: at least one
+// refresh failed (and was tolerated) or was skipped by an open breaker.
+func (r MaintenanceReport) Degraded() bool {
+	return len(r.RefreshFailures) > 0 || r.TablesSkipped > 0
 }
 
 // RunMaintenance applies the policy once across all tables: refreshes
@@ -88,6 +129,14 @@ type MaintenanceReport struct {
 // never misattributed to this pass (diffing the global TotalUpdateCost
 // before/after would fold them in).
 func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error) {
+	return m.RunMaintenanceCtx(context.Background(), p)
+}
+
+// RunMaintenanceCtx is RunMaintenance honoring cancellation and deadlines:
+// ctx is checked between tables and between per-statistic rebuilds, so a
+// canceled pass stops at the next boundary with the report covering exactly
+// the work completed. ctx also bounds each statistic rebuild (see EnsureCtx).
+func (m *Manager) RunMaintenanceCtx(ctx context.Context, p MaintenancePolicy) (MaintenanceReport, error) {
 	reg := m.ObsRegistry()
 	start := time.Now()
 	sp := reg.StartSpan("stats.maintenance", nil)
@@ -114,6 +163,9 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 
 	refreshedTables := make(map[string]bool)
 	for _, table := range m.db.Schema.TableNames() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		td, err := m.db.Table(table)
 		if err != nil {
 			return rep, err
@@ -123,15 +175,30 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 		if rows == 0 || float64(td.ModCounter()) <= threshold {
 			continue
 		}
-		n, cost, err := m.refreshTableCost(table)
+		if p.SkipTable != nil && p.SkipTable(table) {
+			rep.TablesSkipped++
+			continue
+		}
+		n, cost, err := m.refreshTableCost(ctx, table)
 		rep.UpdateCostUnits += cost
 		if err != nil {
-			return rep, err
+			// Cancellation always aborts; other failures are tolerated when
+			// the policy says so: record the cause (unwrapped-able, for the
+			// transient/permanent classifier) and maintain the rest. The
+			// table's modification counter is deliberately left set so the
+			// next pass retries it.
+			if !p.TolerateFailures || ctx.Err() != nil {
+				return rep, err
+			}
+			rep.RefreshFailures = append(rep.RefreshFailures, RefreshFailure{Table: strings.ToLower(table), Err: err})
+			continue
 		}
 		if n > 0 {
 			rep.TablesRefreshed++
 			rep.StatsRefreshed += n
-			refreshedTables[strings.ToLower(table)] = true
+			lt := strings.ToLower(table)
+			refreshedTables[lt] = true
+			rep.RefreshedTables = append(rep.RefreshedTables, lt)
 		}
 	}
 
@@ -141,6 +208,9 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 	// threshold. Tables already refreshed above are skipped — they are fresh.
 	if len(qerr) > 0 {
 		for _, s := range m.Maintained() {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
 			if refreshedTables[s.Table] {
 				continue
 			}
@@ -148,10 +218,18 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 			if !ok || sum.MaxQ <= p.QErrorThreshold {
 				continue
 			}
-			cost, err := m.refreshStatCost(s.ID)
+			if p.SkipTable != nil && p.SkipTable(s.Table) {
+				rep.TablesSkipped++
+				continue
+			}
+			cost, err := m.refreshStatCost(ctx, s.ID)
 			rep.UpdateCostUnits += cost
 			if err != nil {
-				return rep, err
+				if !p.TolerateFailures || ctx.Err() != nil {
+					return rep, err
+				}
+				rep.RefreshFailures = append(rep.RefreshFailures, RefreshFailure{Table: s.Table, Stat: s.ID, Err: err})
+				continue
 			}
 			rep.StatsFeedbackRefreshed++
 		}
@@ -193,6 +271,11 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 	reg.Counter("stats.maintenance.stats_dropped").Add(int64(rep.StatsDropped))
 	reg.Counter("stats.maintenance.feedback_refreshes").Add(int64(rep.StatsFeedbackRefreshed))
 	reg.Counter("stats.maintenance.drops_confirmed").Add(int64(rep.StatsDropConfirmed))
+	reg.Counter("stats.maintenance.refresh_failures").Add(int64(len(rep.RefreshFailures)))
+	reg.Counter("stats.maintenance.tables_skipped").Add(int64(rep.TablesSkipped))
+	if rep.Degraded() {
+		reg.Counter("degraded.maintenance_passes").Inc()
+	}
 	reg.FloatCounter("stats.maintenance.update_cost_units").Add(rep.UpdateCostUnits)
 	reg.Timing("stats.maintenance.latency").Observe(time.Since(start))
 	sp.End(map[string]any{
@@ -201,6 +284,8 @@ func (m *Manager) RunMaintenance(p MaintenancePolicy) (MaintenanceReport, error)
 		"stats_dropped":      rep.StatsDropped,
 		"feedback_refreshes": rep.StatsFeedbackRefreshed,
 		"drops_confirmed":    rep.StatsDropConfirmed,
+		"refresh_failures":   len(rep.RefreshFailures),
+		"tables_skipped":     rep.TablesSkipped,
 		"update_cost":        rep.UpdateCostUnits,
 	})
 	return rep, nil

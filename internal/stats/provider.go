@@ -1,6 +1,10 @@
 package stats
 
-import "autostats/internal/storage"
+import (
+	"context"
+
+	"autostats/internal/storage"
+)
 
 // Provider is the read-only view of the statistics layer the optimizer
 // consumes. Manager is the production implementation; tests substitute
@@ -34,8 +38,10 @@ var _ Provider = (*Manager)(nil)
 // "create" (physically building a new one); id names the target. A
 // non-nil return aborts the operation with that error, and the manager
 // must leave all published state — snapshots, epoch, accounting —
-// exactly as it was.
-type Failpoint func(op string, id ID) error
+// exactly as it was. ctx is the operation's context: latency-injecting
+// failpoints must select on ctx.Done() while sleeping so deadlines and
+// cancellation cut the injected delay short.
+type Failpoint func(ctx context.Context, op string, id ID) error
 
 // SetFailpoint installs (or, with nil, removes) the manager's failpoint.
 // Production code never installs one; the fault-injection oracle uses it

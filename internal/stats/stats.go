@@ -15,6 +15,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,6 +38,14 @@ func MakeID(table string, cols []string) ID {
 		lower[i] = strings.ToLower(c)
 	}
 	return ID(strings.ToLower(table) + "(" + strings.Join(lower, ",") + ")")
+}
+
+// Table extracts the (lower-case) table name from the canonical ID.
+func (id ID) Table() string {
+	if i := strings.IndexByte(string(id), '('); i >= 0 {
+		return string(id[:i])
+	}
+	return string(id)
 }
 
 // Statistic is one created statistic and its bookkeeping. Once published by
@@ -320,6 +329,15 @@ func (m *Manager) Create(table string, cols []string) (*Statistic, error) {
 // the drop-list. Callers that attribute build cost (MNSA's units-consumed
 // accounting) need the distinction; Create callers don't.
 func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) {
+	return m.EnsureCtx(context.Background(), table, cols)
+}
+
+// EnsureCtx is Ensure honoring cancellation and deadlines: the build is
+// abandoned — with all published state (snapshots, epoch, accounting)
+// untouched — when ctx expires before or between the build steps. A
+// statistic that already exists is returned regardless of ctx state; only
+// physical building is cancellable work.
+func (m *Manager) EnsureCtx(ctx context.Context, table string, cols []string) (*Statistic, bool, error) {
 	id := MakeID(table, cols)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -333,11 +351,11 @@ func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) 
 		return s, false, nil
 	}
 	if m.failpoint != nil {
-		if err := m.failpoint("create", id); err != nil {
-			return nil, false, err
+		if err := m.failpoint(ctx, "create", id); err != nil {
+			return nil, false, fmt.Errorf("stats: create %s vetoed: %w", id, err)
 		}
 	}
-	s, err := m.buildLocked(table, cols)
+	s, err := m.buildLocked(ctx, table, cols)
 	if err != nil {
 		return nil, false, err
 	}
@@ -356,22 +374,34 @@ func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) 
 
 // buildLocked constructs a fresh Statistic from current data. It bumps the
 // logical clock but charges no accounting; Create and refreshLocked charge
-// the build- and update-side counters respectively. Callers must hold mu.
-func (m *Manager) buildLocked(table string, cols []string) (*Statistic, error) {
+// the build- and update-side counters respectively. Cancellation is checked
+// between the build steps (value extraction, sampling, histogram
+// construction), so a deadline aborts the build at the next step boundary
+// with no state published. Callers must hold mu.
+func (m *Manager) buildLocked(ctx context.Context, table string, cols []string) (*Statistic, error) {
+	id := MakeID(table, cols)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
 	td, err := m.db.Table(table)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
 	}
 	tuples, err := td.MultiColumnValues(cols)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
 	}
-	id := MakeID(table, cols)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
 	start := time.Now()
 	sampled := m.sampleTuples(id, tuples)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
 	mc, err := histogram.BuildMulti(m.kind, cols, sampled, m.maxBuckets)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
 	}
 	if len(sampled) < len(tuples) {
 		scaleSampled(mc, len(sampled), len(tuples))
@@ -485,9 +515,15 @@ func (m *Manager) RecentlyDropped(id ID) bool {
 // entry is replaced with a fresh Statistic; previously handed-out pointers
 // keep their pre-refresh snapshot.
 func (m *Manager) Refresh(id ID) error {
+	return m.RefreshCtx(context.Background(), id)
+}
+
+// RefreshCtx is Refresh honoring cancellation and deadlines; see EnsureCtx
+// for the abandonment guarantees.
+func (m *Manager) RefreshCtx(ctx context.Context, id ID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	_, err := m.refreshLocked(id)
+	_, err := m.refreshLocked(ctx, id)
 	return err
 }
 
@@ -496,7 +532,7 @@ func (m *Manager) Refresh(id ID) error {
 // hold mu. Returning the cost lets maintenance passes attribute exactly their
 // own work instead of diffing the global counters, which would fold in
 // concurrent refreshes.
-func (m *Manager) refreshLocked(id ID) (float64, error) {
+func (m *Manager) refreshLocked(ctx context.Context, id ID) (float64, error) {
 	s := m.stats[id]
 	if s == nil {
 		return 0, fmt.Errorf("stats: unknown statistic %s", id)
@@ -505,13 +541,13 @@ func (m *Manager) refreshLocked(id ID) (float64, error) {
 		return 0, nil
 	}
 	if m.failpoint != nil {
-		if err := m.failpoint("refresh", id); err != nil {
-			return 0, err
+		if err := m.failpoint(ctx, "refresh", id); err != nil {
+			return 0, fmt.Errorf("stats: refresh %s vetoed: %w", id, err)
 		}
 	}
-	fresh, err := m.buildLocked(s.Table, s.Columns)
+	fresh, err := m.buildLocked(ctx, s.Table, s.Columns)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("stats: refresh %s: %w", id, err)
 	}
 	fresh.CreatedAt = s.CreatedAt
 	fresh.UpdatedAt = m.clock
@@ -530,23 +566,24 @@ func (m *Manager) refreshLocked(id ID) (float64, error) {
 // this call charged — the per-statistic sibling of refreshTableCost, used by
 // the feedback-triggered maintenance path. The table's modification counter
 // is left untouched: other statistics on the table remain governed by it.
-func (m *Manager) refreshStatCost(id ID) (float64, error) {
+func (m *Manager) refreshStatCost(ctx context.Context, id ID) (float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.refreshLocked(id)
+	return m.refreshLocked(ctx, id)
 }
 
 // RefreshTable refreshes every maintained statistic on the table and resets
 // its modification counter. Returns the number refreshed.
 func (m *Manager) RefreshTable(table string) (int, error) {
-	n, _, err := m.refreshTableCost(table)
+	n, _, err := m.refreshTableCost(context.Background(), table)
 	return n, err
 }
 
 // refreshTableCost is RefreshTable plus the update cost charged by this call
 // alone, so a maintenance pass can report its own cost even while other
-// goroutines refresh concurrently.
-func (m *Manager) refreshTableCost(table string) (int, float64, error) {
+// goroutines refresh concurrently. Cancellation is checked between the
+// per-statistic rebuilds.
+func (m *Manager) refreshTableCost(ctx context.Context, table string) (int, float64, error) {
 	table = strings.ToLower(table)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -556,7 +593,7 @@ func (m *Manager) refreshTableCost(table string) (int, float64, error) {
 		if s.Table != table || s.InDropList {
 			continue
 		}
-		c, err := m.refreshLocked(s.ID)
+		c, err := m.refreshLocked(ctx, s.ID)
 		if err != nil {
 			return n, cost, err
 		}

@@ -1,0 +1,166 @@
+package autostats
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"autostats/internal/resilience"
+	"autostats/internal/stats"
+)
+
+func sortedRows(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGracefulDegradationEndToEnd is the acceptance scenario for the
+// resilience layer: with the statistics build path hard-down, statements
+// still plan and execute on magic-number plans tagged Degraded, the
+// resilience.*/degraded.* telemetry fires, the plan cache stays clean of
+// degraded plans, and once the build path recovers the very next statements
+// produce healthy, non-degraded plans with identical results.
+func TestGracefulDegradationEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	sys.EnableResilience(ResilienceOptions{
+		Retries:          1,
+		RetryBaseDelay:   time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Millisecond,
+	})
+
+	down := errors.New("stats store down")
+	sys.mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		return stats.Transient(down)
+	})
+
+	queries := []string{
+		"SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45",
+		"SELECT * FROM orders, customer WHERE o_custkey = c_custkey AND o_totalprice > 400000",
+		"SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_discount > 0.05",
+	}
+	ctx := context.Background()
+	degradedRows := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := sys.ProcessStatementCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("degraded statement %q must still execute: %v", q, err)
+		}
+		if len(res.Degraded) == 0 {
+			t.Fatalf("statement %q with stats down must be degraded", q)
+		}
+		degradedRows[i] = sortedRows(res.Rows)
+	}
+
+	reg := sys.Obs()
+	for _, c := range []string{
+		"degraded.plans",
+		"degraded.statements",
+		"degraded.plancache_bypasses",
+		"resilience.ensure.failures",
+		"resilience.retry.attempts",
+		"resilience.breaker.trips",
+	} {
+		if got := reg.Counter(c).Value(); got == 0 {
+			t.Errorf("counter %s = 0 after degraded phase", c)
+		}
+	}
+	if got := reg.Counter("degraded.plancache_bypasses").Value(); got < int64(len(queries)) {
+		t.Errorf("plancache bypasses = %d, want >= %d (one per degraded statement)", got, len(queries))
+	}
+	// Degraded statements must not grow the plan cache: re-running one adds
+	// no entries (MNSA probe plans from the first pass are reused by key; the
+	// degraded executed plan is never stored).
+	sizeBefore := sys.PlanCacheStats().Size
+	if res, err := sys.ProcessStatementCtx(ctx, queries[0]); err != nil || len(res.Degraded) == 0 {
+		t.Fatalf("repeat degraded statement: err=%v degraded=%v", err, res.Degraded)
+	}
+	if got := sys.PlanCacheStats().Size; got != sizeBefore {
+		t.Errorf("plan cache grew %d -> %d across a degraded statement", sizeBefore, got)
+	}
+	states := sys.BreakerStates()
+	if len(states) == 0 {
+		t.Fatal("no breaker state after repeated failures")
+	}
+	open := 0
+	for _, st := range states {
+		if st.State == resilience.Open {
+			open++
+		}
+	}
+	if open == 0 {
+		t.Errorf("no breaker open after the outage: %+v", states)
+	}
+
+	// Recovery: build path comes back, cooldown elapses, half-open probes
+	// succeed and the next statements plan healthy with the same results.
+	sys.mgr.SetFailpoint(nil)
+	time.Sleep(5 * time.Millisecond)
+	for i, q := range queries {
+		res, err := sys.ProcessStatementCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("recovered statement %q: %v", q, err)
+		}
+		if len(res.Degraded) != 0 {
+			t.Errorf("statement %q still degraded after recovery: %v", q, res.Degraded)
+		}
+		healthy := sortedRows(res.Rows)
+		if len(healthy) != len(degradedRows[i]) {
+			t.Errorf("%q: degraded run returned %d rows, healthy run %d", q, len(degradedRows[i]), len(healthy))
+			continue
+		}
+		for j := range healthy {
+			if healthy[j] != degradedRows[i][j] {
+				t.Errorf("%q: row %d differs between degraded and healthy runs", q, j)
+				break
+			}
+		}
+	}
+	for _, st := range sys.BreakerStates() {
+		if st.State == resilience.Open {
+			t.Errorf("breaker for %s still open after recovery", st.Table)
+		}
+	}
+	if n := len(sys.Statistics()); n == 0 {
+		t.Error("recovery built no statistics")
+	}
+}
+
+// TestTuneDegradedReport: offline tuning under a failing build path reports
+// Degraded with per-statistic failures instead of aborting, and the CLI-facing
+// TuneReport carries them.
+func TestTuneDegradedReport(t *testing.T) {
+	sys := testSystem(t)
+	sys.EnableResilience(ResilienceOptions{Retries: 0, RetryBaseDelay: time.Microsecond})
+	down := errors.New("down")
+	sys.mgr.SetFailpoint(func(context.Context, string, stats.ID) error {
+		return stats.Transient(down)
+	})
+	rep, err := sys.TuneQueryCtx(context.Background(), "SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45", TuneOptions{})
+	if err != nil {
+		t.Fatalf("degraded tune must not abort: %v", err)
+	}
+	if !rep.Degraded || len(rep.BuildFailures) == 0 {
+		t.Fatalf("report should be degraded with failures: degraded=%v failures=%d",
+			rep.Degraded, len(rep.BuildFailures))
+	}
+	for _, bf := range rep.BuildFailures {
+		if !strings.Contains(bf, "transient") {
+			t.Errorf("failure %q lost its reason classification", bf)
+		}
+	}
+
+	// Cancellation beats tolerance: a canceled tune returns the ctx error.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.TuneQueryCtx(cctx, "SELECT * FROM orders WHERE o_totalprice < 1000", TuneOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled tune: err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package autostats
 
 import (
+	"context"
 	"fmt"
 
 	"autostats/internal/core"
@@ -74,42 +75,81 @@ type TuneReport struct {
 	OptimizerCalls int
 	// CreationCostUnits is the statistics build cost in work units.
 	CreationCostUnits float64
+	// Degraded reports whether the run completed in degraded mode: with
+	// resilience enabled, some statistic builds failed (breaker open,
+	// timeout, or error) and the affected queries were planned on default
+	// magic-number selectivities instead.
+	Degraded bool
+	// BuildFailures describes each failed build as "id: reason" (only
+	// populated with resilience enabled).
+	BuildFailures []string
 }
 
 // TuneQuery runs MNSA (or MNSA/D when opts.Drop) for one SELECT statement,
 // creating the statistics it needs.
 func (s *System) TuneQuery(sql string, opts TuneOptions) (*TuneReport, error) {
+	return s.TuneQueryCtx(context.Background(), sql, opts)
+}
+
+// TuneQueryCtx is TuneQuery honoring cancellation and deadlines.
+func (s *System) TuneQueryCtx(ctx context.Context, sql string, opts TuneOptions) (*TuneReport, error) {
 	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
 	if err != nil {
 		return nil, err
 	}
 	s.mgr.ResetAccounting()
-	res, err := core.RunMNSA(s.sess, q, opts.config())
+	s.sess.ClearDegraded()
+	res, err := core.RunMNSACtx(ctx, s.sess, q, s.config(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &TuneReport{
+	rep := &TuneReport{
 		Created:           idsToStrings(res.Created),
 		DropListed:        idsToStrings(res.DropListed),
 		OptimizerCalls:    res.OptimizerCalls,
 		CreationCostUnits: s.mgr.Snapshot().TotalBuildCost,
-	}, nil
+		Degraded:          res.Degraded(),
+	}
+	for _, f := range res.BuildFailures {
+		rep.BuildFailures = append(rep.BuildFailures, fmt.Sprintf("%s: %s", f.ID, f.Reason))
+	}
+	return rep, nil
 }
 
 // TuneWorkload runs MNSA over every SELECT in the workload, then optionally
 // the Shrinking Set algorithm (opts.Shrink) — the offline policy of §6.
 // Non-SELECT statements are ignored for selection purposes.
 func (s *System) TuneWorkload(sqls []string, opts TuneOptions) (*TuneReport, error) {
+	return s.TuneWorkloadCtx(context.Background(), sqls, opts)
+}
+
+// TuneWorkloadCtx is TuneWorkload honoring cancellation and deadlines: ctx
+// is checked between workload queries, between per-statistic build steps,
+// and through the shrinking phase, so an interrupted run returns promptly
+// with the statistics already built intact.
+func (s *System) TuneWorkloadCtx(ctx context.Context, sqls []string, opts TuneOptions) (*TuneReport, error) {
 	queries, err := s.parseQueries(sqls)
 	if err != nil {
 		return nil, err
 	}
-	return s.tuneQueries(queries, opts)
+	return s.tuneQueries(ctx, queries, opts)
 }
 
-func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneReport, error) {
-	s.mgr.ResetAccounting()
+// config finalizes the core configuration for this system: with resilience
+// enabled, builds route through the Guard so failures degrade instead of
+// aborting.
+func (s *System) config(opts TuneOptions) core.Config {
 	cfg := opts.config()
+	if s.guard != nil {
+		cfg.Builder = s.guard
+	}
+	return cfg
+}
+
+func (s *System) tuneQueries(ctx context.Context, queries []*query.Select, opts TuneOptions) (*TuneReport, error) {
+	s.mgr.ResetAccounting()
+	s.sess.ClearDegraded()
+	cfg := s.config(opts)
 	rep := &TuneReport{}
 	sp := s.sess.Obs().StartSpan("tune.workload", map[string]any{
 		"queries": len(queries), "shrink": opts.Shrink, "parallelism": opts.Parallelism,
@@ -119,25 +159,33 @@ func (s *System) tuneQueries(queries []*query.Select, opts TuneOptions) (*TuneRe
 			"created":         len(rep.Created),
 			"drop_listed":     len(rep.DropListed),
 			"optimizer_calls": rep.OptimizerCalls,
+			"build_failures":  len(rep.BuildFailures),
 		})
 	}()
+	record := func(wr *core.WorkloadResult) {
+		rep.Created = idsToStrings(wr.Created)
+		rep.DropListed = idsToStrings(wr.DropListed)
+		rep.OptimizerCalls = wr.OptimizerCalls
+		rep.Degraded = wr.Degraded()
+		for _, f := range wr.BuildFailures {
+			rep.BuildFailures = append(rep.BuildFailures, fmt.Sprintf("%s: %s", f.ID, f.Reason))
+		}
+	}
 	if opts.Shrink {
-		tr, err := core.OfflineTuneParallel(s.sess, queries, cfg, nil, opts.Parallelism)
+		tr, err := core.OfflineTuneParallelCtx(ctx, s.sess, queries, cfg, nil, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		rep.Created = idsToStrings(tr.MNSA.Created)
+		record(tr.MNSA)
 		rep.DropListed = idsToStrings(tr.DropListed)
 		rep.Essential = idsToStrings(tr.Shrink.Kept)
 		rep.OptimizerCalls = tr.MNSA.OptimizerCalls + tr.Shrink.OptimizerCalls
 	} else {
-		wr, err := core.RunMNSAWorkloadParallel(s.sess, queries, cfg, opts.Parallelism)
+		wr, err := core.RunMNSAWorkloadParallelCtx(ctx, s.sess, queries, cfg, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		rep.Created = idsToStrings(wr.Created)
-		rep.DropListed = idsToStrings(wr.DropListed)
-		rep.OptimizerCalls = wr.OptimizerCalls
+		record(wr)
 	}
 	rep.CreationCostUnits = s.mgr.Snapshot().TotalBuildCost
 	return rep, nil
@@ -169,15 +217,28 @@ func idsToStrings(ids []stats.ID) []string {
 // policy (§6): SELECTs pass through MNSA first, DML executes and
 // periodically triggers the maintenance policy.
 func (s *System) ProcessStatement(sql string) (*QueryResult, error) {
+	return s.ProcessStatementCtx(context.Background(), sql)
+}
+
+// ProcessStatementCtx is ProcessStatement honoring cancellation and
+// deadlines through the MNSA analysis, statistic builds and periodic
+// maintenance. With resilience enabled, statements whose statistics cannot
+// be built still execute — on degraded magic-number plans, reported in
+// QueryResult.Degraded.
+func (s *System) ProcessStatementCtx(ctx context.Context, sql string) (*QueryResult, error) {
 	stmt, err := sqlparser.Parse(s.db.Schema, sql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.auto.ProcessStatement(stmt)
+	res, err := s.auto.ProcessStatementCtx(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	out := &QueryResult{ExecCost: res.Cost, Affected: res.Affected}
+	out := &QueryResult{
+		ExecCost: res.Cost,
+		Affected: res.Affected,
+		Degraded: s.sess.DegradedReasons(),
+	}
 	if res.Rows != nil {
 		cols := make([]string, len(res.Cols))
 		for name, pos := range res.Cols {
@@ -253,8 +314,10 @@ func (s *System) TPCDOrigWorkload() ([]string, error) {
 // RunMaintenance applies the SQL Server 7.0-style maintenance policy once:
 // refresh statistics on heavily modified tables, drop over-updated
 // drop-listed statistics. Returns (tables refreshed, statistics dropped).
+// With resilience enabled the pass routes through the Guard (breaker-gated,
+// failure-tolerant); use RunMaintenanceCtx for the full report.
 func (s *System) RunMaintenance() (int, int, error) {
-	rep, err := s.mgr.RunMaintenance(s.maint)
+	rep, err := s.RunMaintenanceCtx(context.Background())
 	if err != nil {
 		return 0, 0, err
 	}
