@@ -35,19 +35,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|feedback|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
-		parallel = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
-		feedback = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
-		benchOut = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
-		scale    = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
-		seed     = flag.Int64("seed", 1, "workload generator seed")
-		wl       = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
-		dbs      = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
-		introDB  = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
-		introScl = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
-		metrics  = flag.Bool("metrics", false, "dump the observability counters after the experiments")
-		traceTo  = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
-		timeout  = flag.Duration("timeout", 0, "abort the experiments after this long (0 = no deadline)")
+		exp       = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|feedback|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		parallel  = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+		feedback  = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
+		benchOut  = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
+		bench6Out = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
+		scale     = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
+		seed      = flag.Int64("seed", 1, "workload generator seed")
+		wl        = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
+		dbs       = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
+		introDB   = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
+		introScl  = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
+		metrics   = flag.Bool("metrics", false, "dump the observability counters after the experiments")
+		traceTo   = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
+		timeout   = flag.Duration("timeout", 0, "abort the experiments after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,13 @@ func main() {
 			runErr = fmt.Errorf("benchjson: %w", err)
 		} else {
 			fmt.Printf("benchmark bundle written to %s\n", *benchOut)
+		}
+	}
+	if *bench6Out != "" && runErr == nil {
+		if err := writeBench6JSON(*bench6Out, orDefault(*wl, "U0-C-100"), *scale, *seed, *parallel); err != nil {
+			runErr = fmt.Errorf("benchjson6: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *bench6Out)
 		}
 	}
 
@@ -335,6 +343,33 @@ func writeBenchJSON(path, wl string, scale float64, seed int64, parallelism int)
 	s, err := bench.RunPR3(wl, scale, seed, parallelism, 0)
 	if err != nil {
 		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeBench6JSON runs the PR-6 plan-cache bundle and applies the smoke
+// gate: a zero hit rate on the repeated-template workload means statement
+// parameterization has regressed to the raw-SQL keying this bundle exists to
+// guard against, so the run fails rather than silently publishing it.
+func writeBench6JSON(path, wl string, scale float64, seed int64, parallelism int) error {
+	s, err := bench.RunPR6(wl, scale, seed, parallelism)
+	if err != nil {
+		return err
+	}
+	rt := s.RepeatedTemplate
+	fmt.Printf("repeated-template: %d templates x %d instances, hit rate %.3f, speedup %.2fx, p99 %v -> %v (%d shards)\n",
+		rt.Templates, rt.InstancesPerTemplate, rt.HitRate, rt.SpeedupX,
+		rt.UncachedP99, rt.CachedP99, rt.Shards)
+	if s.PlanCacheHitRate == 0 {
+		return fmt.Errorf("smoke gate: repeated-template plan-cache hit rate is 0 (hits=%d misses=%d)", rt.Hits, rt.Misses)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autostats/internal/optimizer"
+	"autostats/internal/query"
+	"autostats/internal/workload"
+)
+
+// RepeatedTemplateRow measures plan-cache effectiveness on a prepared-
+// statement-style workload: a small set of statement templates, each
+// optimized many times with constants re-sampled from the live data. This is
+// the workload shape the PR 3 benchmark showed at a 0% hit rate (the key
+// embedded the raw SQL, so every fresh constant missed); with parameterized
+// keys the repeats hit, and only constants that cross a selectivity-bucket
+// boundary re-optimize.
+type RepeatedTemplateRow struct {
+	DB                   string
+	Templates            int
+	InstancesPerTemplate int
+	Statements           int
+	Parallelism          int
+	// UncachedWall / CachedWall are the wall-clock times to optimize the
+	// whole instance stream with Parallelism workers, without and with a
+	// shared sharded plan cache.
+	UncachedWall time.Duration
+	CachedWall   time.Duration
+	SpeedupX     float64
+	// HitRate is Hits / (Hits + Misses) over the cached arm. Misses count
+	// one optimization per distinct (template, bucket vector) pair.
+	HitRate      float64
+	Hits, Misses uint64
+	Evictions    uint64
+	Shards       int
+	CacheEntries int
+	// Per-Optimize latency percentiles across all workers of each arm.
+	UncachedP50, UncachedP99 time.Duration
+	CachedP50, CachedP99     time.Duration
+}
+
+// RunRepeatedTemplate builds the named database with statistics on every
+// indexed column, draws single-filter templates from the standard generator,
+// and optimizes instancesPerTemplate fresh-constant instances of each with
+// parallelism workers — once uncached, once sharing one plan cache.
+func RunRepeatedTemplate(dbName string, scale float64, seed int64, templates, instancesPerTemplate, parallelism int) (*RepeatedTemplateRow, error) {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	env, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	// Histograms on the indexed columns make the selectivity buckets real:
+	// without any statistics every constant would share the missing bucket
+	// and the hit rate would be trivially high.
+	if err := env.CreateIndexedColumnStats(); err != nil {
+		return nil, err
+	}
+
+	tmpls, err := drawTemplates(env, templates, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round-robin the templates so concurrent workers interleave lookups of
+	// different templates (the sharded cache's intended load shape).
+	inst := workload.NewInstantiator(env.DB, seed+1)
+	stmts := make([]*query.Select, 0, len(tmpls)*instancesPerTemplate)
+	for i := 0; i < instancesPerTemplate; i++ {
+		for _, tm := range tmpls {
+			stmts = append(stmts, inst.Instantiate(tm))
+		}
+	}
+
+	uncachedWall, uncachedLats, err := optimizeAll(env.Sess, stmts, parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	cache := optimizer.NewPlanCache(1024)
+	cachedProto := env.Sess.Clone()
+	cachedProto.SetPlanCache(cache)
+	cachedWall, cachedLats, err := optimizeAll(cachedProto, stmts, parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	cs := cache.Stats()
+	row := &RepeatedTemplateRow{
+		DB:                   dbName,
+		Templates:            len(tmpls),
+		InstancesPerTemplate: instancesPerTemplate,
+		Statements:           len(stmts),
+		Parallelism:          parallelism,
+		UncachedWall:         uncachedWall,
+		CachedWall:           cachedWall,
+		HitRate:              cs.HitRate(),
+		Hits:                 cs.Hits,
+		Misses:               cs.Misses,
+		Evictions:            cs.Evictions,
+		Shards:               cs.Shards,
+		CacheEntries:         cs.Size,
+		UncachedP50:          percentile(uncachedLats, 0.50),
+		UncachedP99:          percentile(uncachedLats, 0.99),
+		CachedP50:            percentile(cachedLats, 0.50),
+		CachedP99:            percentile(cachedLats, 0.99),
+	}
+	if cachedWall > 0 {
+		row.SpeedupX = float64(uncachedWall) / float64(cachedWall)
+	}
+	return row, nil
+}
+
+// drawTemplates pulls single-filter SELECT templates from the standard
+// generator (UpdatePct 0). Single-filter shapes keep the space of bucket
+// vectors per template small, which is exactly the prepared-statement
+// scenario the cache is sized for; multi-filter shapes are covered by the
+// differential oracle instead.
+func drawTemplates(env *Env, want int, seed int64) ([]*query.Select, error) {
+	var out []*query.Select
+	for batch := 0; batch < 5 && len(out) < want; batch++ {
+		w, err := workload.Generate(env.DB, workload.Config{
+			Count:      want * 10,
+			UpdatePct:  0,
+			Complexity: workload.Simple,
+			Seed:       seed + int64(batch)*1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range w.Queries() {
+			if len(q.Filters) == 1 {
+				out = append(out, q)
+				if len(out) == want {
+					break
+				}
+			}
+		}
+	}
+	if len(out) < want {
+		return nil, fmt.Errorf("bench: only %d of %d single-filter templates found", len(out), want)
+	}
+	return out, nil
+}
+
+// optimizeAll drives the statements through parallelism session clones and
+// returns the wall-clock plus every individual Optimize latency.
+func optimizeAll(proto *optimizer.Session, stmts []*query.Select, parallelism int) (time.Duration, []time.Duration, error) {
+	var next int64
+	perWorker := make([][]time.Duration, parallelism)
+	errs := make([]error, parallelism)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := proto.Clone()
+			lats := make([]time.Duration, 0, len(stmts)/parallelism+1)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(stmts) {
+					break
+				}
+				t0 := time.Now()
+				if _, err := sess.Optimize(stmts[i]); err != nil {
+					errs[w] = err
+					break
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			perWorker[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range perWorker {
+		all = append(all, l...)
+	}
+	return wall, all, nil
+}
+
+// percentile returns the q-th latency quantile (nearest-rank on the sorted
+// sample). Sorts a copy; the empty sample yields 0.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// PR6Summary is the machine-readable benchmark bundle for the parameterized
+// plan-cache PR: the repeated-template hit-rate/speedup/latency row, the
+// standard serial-vs-parallel tuning row over the same sharded cache, and
+// the headline hit rate (the number PR 3 reported as 0).
+// Serialized to BENCH_PR6.json by cmd/experiments -benchjson6.
+type PR6Summary struct {
+	Scale            float64
+	Workload         string
+	RepeatedTemplate *RepeatedTemplateRow
+	Parallel         *ParallelRow
+	PlanCacheHitRate float64
+}
+
+// RunPR6 gathers the PR-6 benchmark bundle. parallelism <= 0 uses 4.
+func RunPR6(wlName string, scale float64, seed int64, parallelism int) (*PR6Summary, error) {
+	rt, err := RunRepeatedTemplate("TPCD_2", scale, seed, 8, 250, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	par, err := Parallel("TPCD_2", wlName, scale, seed, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &PR6Summary{
+		Scale:            scale,
+		Workload:         wlName,
+		RepeatedTemplate: rt,
+		Parallel:         par,
+		PlanCacheHitRate: rt.HitRate,
+	}, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR6Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRepeatedTemplateHitRate is the PR-6 regression: a repeated-template
+// workload over the parameterized, sharded plan cache must hit above 90%
+// (the PR-3 raw-SQL key scored exactly 0 here).
+func TestRepeatedTemplateHitRate(t *testing.T) {
+	row, err := RunRepeatedTemplate("TPCD_2", 0.1, 1, 6, 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.HitRate <= 0.9 {
+		t.Errorf("repeated-template hit rate = %.3f, want > 0.9 (hits=%d misses=%d entries=%d)",
+			row.HitRate, row.Hits, row.Misses, row.CacheEntries)
+	}
+	if got := row.Hits + row.Misses; got != uint64(row.Statements) {
+		t.Errorf("cache lookups = %d, want one per statement (%d)", got, row.Statements)
+	}
+	if row.Evictions != 0 {
+		t.Errorf("tiny workload should not evict: %d evictions", row.Evictions)
+	}
+	if row.Shards <= 1 {
+		t.Errorf("capacity-1024 cache should shard, got %d", row.Shards)
+	}
+	if row.UncachedP99 <= 0 || row.CachedP99 <= 0 || row.CachedP50 <= 0 {
+		t.Errorf("latency percentiles missing: %+v", row)
+	}
+	t.Logf("hit rate %.3f, speedup %.2fx, p99 %v -> %v",
+		row.HitRate, row.SpeedupX, row.UncachedP99, row.CachedP99)
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{5, 1, 4, 2, 3}
+	if p := percentile(lats, 0.5); p != 3 {
+		t.Errorf("p50 = %d, want 3", p)
+	}
+	if p := percentile(lats, 0.99); p != 5 {
+		t.Errorf("p99 = %d, want 5", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %d, want 0", p)
+	}
+	if lats[0] != 5 {
+		t.Error("percentile must not reorder the caller's sample")
+	}
+}

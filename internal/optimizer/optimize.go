@@ -31,14 +31,27 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	// (and caches) a healthy plan again.
 	degraded := len(s.degraded) > 0
 
+	// The cache key is parameterized: the statement template plus the
+	// selectivity bucket of each lifted constant (see paramkey.go).
+	// Statements with more filters than the key can carry bypass the cache.
+	// The epoch is read before the bucket probe and re-checked in the
+	// assembled key: if a statistics mutation lands between the two reads the
+	// buckets may mix old and new histograms, so the lookup (and the publish
+	// below) is abandoned rather than risk caching under a torn key.
 	var key planKey
-	if s.cache != nil && !degraded {
-		key = s.cacheKey(q.SQL())
-		if p, ok := s.cache.get(key); ok {
-			s.met.cacheHits.Inc()
-			return p, nil
+	cacheable := false
+	if s.cache != nil && !degraded && len(q.Filters) <= maxCachedParams {
+		e0 := s.prov.Epoch()
+		tmpl, buckets := s.planParams(q)
+		key = s.cacheKey(tmpl, buckets)
+		cacheable = key.epoch == e0
+		if cacheable {
+			if p, ok := s.cache.get(key, q); ok {
+				s.met.cacheHits.Inc()
+				return p, nil
+			}
+			s.met.cacheMisses.Inc()
 		}
-		s.met.cacheMisses.Inc()
 	}
 
 	start := time.Now()
@@ -58,7 +71,7 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	}
 	// Publish only if no statistics, data, or correction mutation raced with
 	// this optimization; a plan built from a torn read must not be cached.
-	if s.cache != nil && s.prov.Epoch() == key.epoch && s.prov.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {
+	if cacheable && s.prov.Epoch() == key.epoch && s.prov.Database().DataVersion() == key.dataVersion && s.corrVersion() == key.fbver {
 		if s.cache.put(key, p) {
 			s.met.cacheEvictions.Inc()
 		}

@@ -1,0 +1,303 @@
+package optimizer
+
+import (
+	"sync"
+	"testing"
+
+	"autostats/internal/catalog"
+	"autostats/internal/query"
+	"autostats/internal/sqlparser"
+	"autostats/internal/stats"
+)
+
+// TestPlanCacheParameterizedHit: the tentpole behavior. Statements that share
+// a template and whose constants sit in the same selectivity regime hit one
+// cache entry; the served plan carries the new statement's literals.
+func TestPlanCacheParameterizedHit(t *testing.T) {
+	sess, c := cachedSession(t, 8)
+	q1, q2 := dateQuery(10000), dateQuery(10200)
+	// No statistics exist, so both constants share the missing-stat bucket.
+	p1, err := sess.Optimize(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sess.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("parameter-differing statements should share an entry: %+v", st)
+	}
+	if p1 == p2 {
+		t.Fatal("a rebound hit must not alias the cached plan")
+	}
+	if got := p2.Root.Filters[0].Val; got != q2.Filters[0].Val {
+		t.Errorf("served plan carries literal %v, want q2's %v", got, q2.Filters[0].Val)
+	}
+	if p1.Root.Filters[0].Val != q1.Filters[0].Val {
+		t.Error("rebinding must not mutate the cached plan's literals")
+	}
+	if p2.Query != q2 {
+		t.Error("served plan must reference the statement it answers")
+	}
+	// Shape and cost carry over; Signature differs only in the literals.
+	if p2.Cost() != p1.Cost() || p2.Root.Op != p1.Root.Op {
+		t.Error("same-bucket rebind should preserve shape and cost")
+	}
+}
+
+// TestPlanCacheRebindSeekFilters: rebinding must reach literals embedded in
+// index-seek nodes, not just scan filters — a served seek with a stale
+// constant would fetch the wrong rows.
+func TestPlanCacheRebindSeekFilters(t *testing.T) {
+	sess, c := cachedSession(t, 8)
+	if _, err := sess.Manager().Create("orders", []string{"o_orderdate"}); err != nil {
+		t.Fatal(err)
+	}
+	// Find two cutoffs whose histogram estimates land in the same
+	// power-of-two bucket so the second lookup is a guaranteed hit.
+	mk := func(cutoff int64) *query.Select { return dateQuery(cutoff) }
+	base := int64(10500) // selective tail of the 8035..10591 date range
+	b0 := sess.filterBucket(mk(base).Filters[0])
+	var partner int64
+	for d := base + 1; d < base+400; d++ {
+		if sess.filterBucket(mk(d).Filters[0]) == b0 {
+			partner = d
+			break
+		}
+	}
+	if partner == 0 {
+		t.Skip("no same-bucket partner cutoff in range")
+	}
+	q1, q2 := mk(base), mk(partner)
+	p1, err := sess.Optimize(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Root.Op != OpIndexSeek {
+		t.Fatalf("selective predicate with a histogram should seek, got %s", p1.Root.Op)
+	}
+	p2, err := sess.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("same-bucket cutoffs should hit: %+v", st)
+	}
+	if got := p2.Root.SeekFilters[0].Val; got != q2.Filters[0].Val {
+		t.Errorf("seek literal = %v, want %v", got, q2.Filters[0].Val)
+	}
+	if p1.Root.SeekFilters[0].Val != q1.Filters[0].Val {
+		t.Error("cached plan's seek literal must be untouched")
+	}
+}
+
+// TestPlanCacheBucketKeying: constants in different selectivity regimes get
+// different keys — a plan costed for a 0.1% predicate must not be served to a
+// 50% one.
+func TestPlanCacheBucketKeying(t *testing.T) {
+	sess, c := cachedSession(t, 8)
+	if _, err := sess.Manager().Create("orders", []string{"o_orderdate"}); err != nil {
+		t.Fatal(err)
+	}
+	wide, narrow := dateQuery(8100), dateQuery(10500) // ~everything vs. tail
+	bw := sess.filterBucket(wide.Filters[0])
+	bn := sess.filterBucket(narrow.Filters[0])
+	if bw == bn {
+		t.Fatalf("test constants must straddle a bucket boundary (both %d)", bw)
+	}
+	if _, err := sess.Optimize(wide); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Optimize(narrow); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 || st.Size != 2 {
+		t.Errorf("different regimes must be distinct entries: %+v", st)
+	}
+}
+
+// TestPlanCacheCanonicalTextHit: trivially different SQL texts — whitespace,
+// keyword/identifier case, comments, redundant parentheses — must share one
+// cache entry (the PR 3 benchmark's 0% hit rate came from keying on raw SQL).
+func TestPlanCacheCanonicalTextHit(t *testing.T) {
+	sess, c := cachedSession(t, 8)
+	schema := sess.Manager().Database().Schema
+	variants := []string{
+		"SELECT * FROM orders WHERE o_totalprice > 1000",
+		"select * from ORDERS where O_TOTALPRICE > 1000",
+		"SELECT  *  FROM\n\torders\nWHERE  o_totalprice  >  1000",
+		"SELECT * FROM orders WHERE (o_totalprice > 1000)",
+		"SELECT * FROM orders WHERE ((o_totalprice > 1000)) -- tail comment",
+		"SELECT /* hint */ * FROM orders WHERE o_totalprice > 1000 /* done */",
+	}
+	var first *Plan
+	for i, sql := range variants {
+		q, err := sqlparser.ParseSelect(schema, sql)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		p, err := sess.Optimize(q)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			first = p
+			continue
+		}
+		if p != first {
+			t.Errorf("variant %d (%q) missed the cache", i, sql)
+		}
+	}
+	if st := c.Stats(); st.Hits != uint64(len(variants)-1) || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("canonicalization stats: %+v", st)
+	}
+}
+
+// TestPlanCacheFilterCountBypass: statements with more filters than the key's
+// bucket vector can carry skip the cache in both directions.
+func TestPlanCacheFilterCountBypass(t *testing.T) {
+	sess, c := cachedSession(t, 8)
+	filters := make([]query.Filter, maxCachedParams+1)
+	for i := range filters {
+		filters[i] = query.Filter{Col: col("orders", "o_totalprice"), Op: query.Gt, Val: catalog.NewFloat(float64(i))}
+	}
+	q := mkSelect([]string{"orders"}, filters, nil, nil)
+	p1, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sess.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("over-wide statements must not be cached")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Size != 0 {
+		t.Errorf("bypass should not touch the cache: %+v", st)
+	}
+}
+
+// TestCacheKeyNoAlloc: assembling the cache key from the precomputed
+// template, buckets and knob strings performs zero allocations, even with a
+// populated ignore buffer and override set (satellite: the old key re-sorted
+// and re-joined both maps on every lookup).
+func TestCacheKeyNoAlloc(t *testing.T) {
+	sess, _ := cachedSession(t, 8)
+	if err := sess.IgnoreStatisticsSubset("", []stats.ID{
+		stats.MakeID("orders", []string{"o_orderdate"}),
+		stats.MakeID("orders", []string{"o_totalprice"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess.SetSelectivityOverrides(map[int]float64{0: 0.25, 3: 0.001})
+	q := dateQuery(10400)
+	tmpl, buckets := sess.planParams(q)
+	if n := testing.AllocsPerRun(200, func() {
+		key := sess.cacheKey(tmpl, buckets)
+		_ = key
+	}); n != 0 {
+		t.Errorf("cacheKey allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkCacheKey(b *testing.B) {
+	sess, _ := cachedSession(b, 8)
+	sess.SetSelectivityOverrides(map[int]float64{0: 0.25, 3: 0.001})
+	q := dateQuery(10400)
+	tmpl, buckets := sess.planParams(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := sess.cacheKey(tmpl, buckets)
+		_ = key
+	}
+}
+
+// TestPlanCacheShardedAggregation: a capacity large enough to shard still
+// reports exact totals through Stats/Len/Keys, and Clear empties every shard.
+func TestPlanCacheShardedAggregation(t *testing.T) {
+	sess, c := cachedSession(t, 64)
+	if got := c.Stats().Shards; got != defaultPlanCacheShards {
+		t.Fatalf("shards = %d, want %d", got, defaultPlanCacheShards)
+	}
+	// Constants are lifted out of the key, so distinct entries need distinct
+	// statement shapes: vary the operator, the filtered column and the
+	// projection to spread 16 templates over the shards.
+	ops := []query.CmpOp{query.Gt, query.Ge, query.Lt, query.Le}
+	const n = 16
+	for i := 0; i < n; i++ {
+		var f query.Filter
+		if i%2 == 0 {
+			f = query.Filter{Col: col("orders", "o_totalprice"), Op: ops[i/2%4], Val: catalog.NewFloat(1000)}
+		} else {
+			f = query.Filter{Col: col("orders", "o_custkey"), Op: ops[i/2%4], Val: catalog.NewInt(50)}
+		}
+		q := mkSelect([]string{"orders"}, []query.Filter{f}, nil, nil)
+		if i >= 8 {
+			q.Projection = []query.ColumnRef{col("orders", "o_custkey")}
+		}
+		if _, err := sess.Optimize(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Size != c.Len() {
+		t.Errorf("Stats().Size=%d disagrees with Len()=%d", st.Size, c.Len())
+	}
+	if keys := c.Keys(); len(keys) != st.Size {
+		t.Errorf("Keys() length %d, want %d", len(keys), st.Size)
+	}
+	c.Clear()
+	if c.Len() != 0 || len(c.Keys()) != 0 {
+		t.Error("Clear must empty every shard")
+	}
+	if got := c.Stats(); got.Hits != st.Hits || got.Misses != st.Misses {
+		t.Error("Clear must preserve counters")
+	}
+}
+
+// TestPlanCacheShardedChurn: concurrent cached optimization across clones
+// while another goroutine drains Stats/Keys/Len. Bar: -race clean, and every
+// Keys snapshot internally consistent (entry count never exceeds capacity).
+func TestPlanCacheShardedChurn(t *testing.T) {
+	proto, c := cachedSession(t, 64)
+	queries := make([]*query.Select, 8)
+	for i := range queries {
+		queries[i] = mkSelect([]string{"orders"},
+			[]query.Filter{{Col: col("orders", "o_totalprice"), Op: query.Gt, Val: catalog.NewFloat(float64(50 * i))}},
+			nil, nil)
+		if i%2 == 0 {
+			queries[i].Projection = []query.ColumnRef{col("orders", "o_custkey")}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := proto.Clone()
+			for i := 0; i < 60; i++ {
+				if _, err := sess.Optimize(queries[(w+i)%len(queries)]); err != nil {
+					t.Errorf("optimize: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if got := len(c.Keys()); got > 64 {
+				t.Errorf("Keys snapshot has %d entries, capacity 64", got)
+				return
+			}
+			_ = c.Stats()
+			_ = c.Len()
+		}
+	}()
+	wg.Wait()
+	<-done
+}

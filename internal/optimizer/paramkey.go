@@ -1,0 +1,79 @@
+package optimizer
+
+import (
+	"math"
+
+	"autostats/internal/query"
+)
+
+// This file computes the parameterized half of the plan-cache key: the
+// statement template and the per-constant selectivity buckets.
+//
+// Lifting constants out of the key is what makes the cache hit on the
+// repeated-template workloads the MNSA loop generates, but it is only safe
+// if a constant in a different selectivity regime cannot be served a plan
+// costed for another regime: the access-path and join-order decisions hinge
+// on those selectivities. So each lifted constant contributes the
+// power-of-two bucket of the selectivity estimate the optimizer itself would
+// use — probed through the same visible-statistics pipeline as filterSel.
+// Constants in the same bucket are within a factor of two of each other,
+// comfortably inside estimate-grade noise; constants in different regimes
+// get different keys and fresh optimizations.
+//
+// Learned feedback corrections also shift the selectivities the optimizer
+// uses, but a correction factor is keyed by the predicate's column signature,
+// not by the constant's value — it shifts every constant of a template
+// equally. The key's fbver field (bumped whenever a correction materially
+// changes) therefore covers the correction half of the pipeline, and the
+// buckets only need to quantize the raw histogram estimate.
+
+// filterBucket quantizes the selectivity estimate for one filter constant.
+// The probe mirrors filterSel's statistics path: the first visible (non-
+// ignored) statistic whose leading column matches estimates the predicate
+// through its histogram. With no visible statistic the estimate falls back
+// to an override or magic number, neither of which depends on the constant,
+// so all such constants share the bucketMissing sentinel.
+func (s *Session) filterBucket(f query.Filter) int8 {
+	for _, st := range s.prov.StatsForColumn(f.Col.Table, f.Col.Column) {
+		if s.ignored[st.ID] {
+			continue
+		}
+		return quantizeSel(clampSel(histogramOpSel(st.Data.Leading, f.Op, f.Val)))
+	}
+	return bucketMissing
+}
+
+// quantizeSel maps a clamped selectivity to its power-of-two regime:
+// 0 for (0.5, 1], -1 for (0.25, 0.5], … down to -20 at the MinSelectivity
+// floor. One bucket per doubling matches the granularity at which the cost
+// model's decisions (e.g. the scan-vs-seek flip around 1/CostRowFetch) can
+// plausibly move.
+func quantizeSel(sel float64) int8 {
+	b := math.Floor(math.Log2(sel))
+	if b < -20 {
+		b = -20
+	}
+	if b > 0 {
+		b = 0
+	}
+	return int8(b)
+}
+
+// planParams returns the statement template and the bucket vector for q.
+// The template render is memoized per query pointer: sessions are single-
+// goroutine, and both the MNSA probe loop (same query, varying overrides)
+// and plain re-execution optimize the same *Select repeatedly.
+func (s *Session) planParams(q *query.Select) (string, [maxCachedParams]int8) {
+	if s.tmplQ != q {
+		s.tmplStr = q.Template()
+		s.tmplQ = q
+	}
+	var buckets [maxCachedParams]int8
+	for i, f := range q.Filters {
+		if i >= maxCachedParams {
+			break
+		}
+		buckets[i] = s.filterBucket(f)
+	}
+	return s.tmplStr, buckets
+}

@@ -2,21 +2,43 @@ package optimizer
 
 import (
 	"container/list"
-	"fmt"
-	"sort"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
+
+	"autostats/internal/query"
 )
 
+// maxCachedParams bounds the number of lifted filter constants a plan-cache
+// key can carry. Statements with more filters bypass the cache entirely
+// (mirroring the optimizer's own 16-table join limit); the fixed-size array
+// keeps planKey comparable and the lookup path allocation-free.
+const maxCachedParams = 16
+
+// bucketMissing marks a lifted constant whose predicate has no visible
+// statistic: its selectivity comes from an override or magic number, neither
+// of which depends on the constant's value, so every such constant shares one
+// bucket (the override string and magic numbers are separate key fields).
+const bucketMissing = int8(127)
+
 // planKey identifies a cached plan. Two optimizations may share a plan only
-// when every input the cost model reads is identical: the query text, the
-// statistics epoch (bumped by every create/drop/refresh/drop-list change),
-// the storage data version (bumped by every DML row change), the magic
-// numbers, the feedback-correction version (bumped when a learned correction
-// materially changes), and the session's ignore buffer and selectivity
-// overrides. The struct is comparable so it can key a map directly.
+// when every input the cost model reads is identical up to constant lifting:
+// the statement template (the canonical SQL print with comparison constants
+// replaced by '?'), the per-constant selectivity buckets, the statistics
+// epoch (bumped by every create/drop/refresh/drop-list change), the storage
+// data version (bumped by every DML row change), the magic numbers, the
+// feedback-correction version (bumped when a learned correction materially
+// changes), and the session's ignore buffer and selectivity overrides.
+//
+// The bucket vector is what makes constant lifting safe: a constant whose
+// estimated selectivity lands in a different power-of-two regime gets a
+// different key, so a cached plan is only ever reused where the selectivity
+// it was costed under still (approximately) holds. The struct is comparable
+// so it can key a map directly.
 type planKey struct {
-	sql         string
+	template    string
+	buckets     [maxCachedParams]int8 // slots past len(Filters) stay zero
 	epoch       uint64
 	dataVersion int64
 	fbver       uint64
@@ -25,13 +47,15 @@ type planKey struct {
 	overrides   string // sorted "var=sel" pairs, comma-joined
 }
 
-// PlanCacheStats is a point-in-time snapshot of cache effectiveness counters.
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness counters
+// aggregated across all shards.
 type PlanCacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
 	Size      int
 	Capacity  int
+	Shards    int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -43,16 +67,34 @@ func (s PlanCacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// PlanCache is a concurrency-safe LRU cache of optimized plans. It is shared
-// by all sessions cloned from one System: the key embeds every per-session
-// knob (magic numbers, ignore buffer, overrides), so sessions with different
-// settings never collide, while workers running the same workload share hits.
+// defaultPlanCacheShards is the shard count for caches large enough to split.
+// Eight single-mutex LRUs keep lock hold times short at parallelism >= 4
+// without fragmenting small caches; capacities below the shard count use one
+// shard so tiny (test-sized) caches keep exact global LRU semantics.
+const defaultPlanCacheShards = 8
+
+// PlanCache is a concurrency-safe, sharded LRU cache of optimized plans. It
+// is shared by all sessions cloned from one System: the key embeds every
+// per-session knob (magic numbers, ignore buffer, overrides), so sessions
+// with different settings never collide, while workers running the same
+// workload share hits. Keys hash to shards by statement template; each shard
+// has its own lock and LRU list, so concurrent lookups of different
+// templates never contend.
 //
 // Plans are treated as immutable once published; callers must not mutate a
-// Plan returned from the cache.
+// Plan returned from the cache. A hit whose constants differ from the entry's
+// returns a rebound copy (see rebindPlan), never the entry itself with stale
+// literals.
 type PlanCache struct {
+	capacity int // total, summed over shards
+	perShard int
+	shards   []planShard
+}
+
+// planShard is one independently locked LRU. Counters live under the same
+// mutex as the list so per-shard snapshots are internally consistent.
+type planShard struct {
 	mu        sync.Mutex
-	capacity  int
 	order     *list.List                // front = most recently used
 	entries   map[planKey]*list.Element // element value is *cacheEntry
 	hits      uint64
@@ -60,6 +102,10 @@ type PlanCache struct {
 	evictions uint64
 }
 
+// cacheEntry stores the plan together with its key. The plan's Query field is
+// the representative statement the entry was optimized from; its concrete
+// constants are the ones a parameter-differing hit rebinds away from, and its
+// SQL() is what introspection (Keys) reports.
 type cacheEntry struct {
 	key  planKey
 	plan *Plan
@@ -71,72 +117,134 @@ func NewPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &PlanCache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[planKey]*list.Element, capacity),
+	n := defaultPlanCacheShards
+	if capacity < n {
+		n = 1
 	}
+	c := &PlanCache{
+		capacity: capacity,
+		perShard: (capacity + n - 1) / n,
+		shards:   make([]planShard, n),
+	}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].entries = make(map[planKey]*list.Element, c.perShard)
+	}
+	return c
 }
 
-// get returns the cached plan for key, if present, and marks it recently used.
-func (c *PlanCache) get(key planKey) (*Plan, bool) {
+// shard maps a key to its shard (FNV-1a over the state-independent key
+// fields, inlined so the lookup path does not allocate). The hash covers the
+// template, buckets, knob strings and magic numbers but deliberately skips
+// epoch/dataVersion/fbver: those change on every invalidation, and keeping
+// them out means one logical statement stays on one shard across refreshes
+// (its stale predecessors age out of that same shard's LRU).
+func (c *PlanCache) shard(key planKey) *planShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := uint64(14695981039346656037)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(key.template); i++ {
+		step(key.template[i])
+	}
+	for _, b := range key.buckets {
+		step(byte(b))
+	}
+	for i := 0; i < len(key.ignored); i++ {
+		step(key.ignored[i])
+	}
+	for i := 0; i < len(key.overrides); i++ {
+		step(key.overrides[i])
+	}
+	for _, f := range [...]float64{key.magic.Eq, key.magic.Range, key.magic.Ne, key.magic.Join, key.magic.GroupFrac} {
+		bits := math.Float64bits(f)
+		for s := 0; s < 64; s += 8 {
+			step(byte(bits >> s))
+		}
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// get returns the plan cached under key, if present, and marks it recently
+// used. When the entry's constants match q's exactly the cached *Plan is
+// returned as-is (so repeated optimization of the same statement yields the
+// same pointer); otherwise a copy rebound to q's constants is returned.
+func (c *PlanCache) get(key planKey, q *query.Select) (*Plan, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
 	if !ok {
-		c.misses++
+		sh.misses++
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).plan, true
+	sh.hits++
+	sh.order.MoveToFront(el)
+	p := el.Value.(*cacheEntry).plan
+	sh.mu.Unlock()
+	// Rebinding happens outside the shard lock: entries are immutable once
+	// published, so only the (cheap) hit bookkeeping needs the mutex.
+	if sameConstants(p.Query, q) {
+		return p, true
+	}
+	return rebindPlan(p, q), true
 }
 
-// put stores a plan under key, evicting the least recently used entry when
-// the cache is full. Reports whether an entry was evicted, so callers can
-// mirror the eviction to their own metrics.
+// put stores a plan under key, evicting the shard's least recently used
+// entry when the shard is full. Reports whether an entry was evicted, so
+// callers can mirror the eviction to their own metrics.
 func (c *PlanCache) put(key planKey, p *Plan) bool {
 	if c == nil {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
 		el.Value.(*cacheEntry).plan = p
-		c.order.MoveToFront(el)
+		sh.order.MoveToFront(el)
 		return false
 	}
 	evicted := false
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
+	if sh.order.Len() >= c.perShard {
+		oldest := sh.order.Back()
 		if oldest != nil {
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-			c.evictions++
+			sh.order.Remove(oldest)
+			delete(sh.entries, oldest.Value.(*cacheEntry).key)
+			sh.evictions++
 			evicted = true
 		}
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: p})
+	sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, plan: p})
 	return evicted
 }
 
-// Stats returns a snapshot of the cache counters. Safe on a nil cache.
+// Stats returns a snapshot of the cache counters summed across shards. Each
+// shard is snapshotted under its own lock, so the total is a sum of
+// internally consistent per-shard views (lookups racing the aggregation may
+// land in either side of the sum, never in both). Safe on a nil cache.
 func (c *PlanCache) Stats() PlanCacheStats {
 	if c == nil {
 		return PlanCacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return PlanCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      c.order.Len(),
-		Capacity:  c.capacity,
+	st := PlanCacheStats{Capacity: c.capacity, Shards: len(c.shards)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Size += sh.order.Len()
+		sh.mu.Unlock()
 	}
+	return st
 }
 
 // Len returns the number of cached plans. Safe on a nil cache.
@@ -144,17 +252,26 @@ func (c *PlanCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // CachedPlanKey describes one cache entry for inspection: the key fields
 // the staleness discipline hinges on, plus the stored plan's signature and
 // cost so tests can prove an entry is the plan a fresh optimization would
-// produce under that key's state.
+// produce under that key's state. SQL is the representative statement the
+// entry was built from (concrete constants, re-parseable); Template and
+// Buckets are the parameterized key the entry is reachable under.
 type CachedPlanKey struct {
 	SQL             string
+	Template        string
+	Buckets         string
 	Epoch           uint64
 	DataVersion     int64
 	FeedbackVersion uint64
@@ -164,31 +281,57 @@ type CachedPlanKey struct {
 	Cost            float64
 }
 
-// Keys returns a snapshot of every cached entry in MRU-first order. It is
-// an introspection hook for correctness harnesses ("no cached plan may
-// carry the current epoch yet a stale signature"); production code has no
-// reason to call it. Safe on a nil cache.
+// Keys returns a snapshot of every cached entry, MRU-first within each
+// shard. Each shard is snapshotted atomically under its lock; entries are
+// immutable once published, so any entry that appears is exactly what some
+// lookup could have been served. It is an introspection hook for correctness
+// harnesses ("no cached plan may carry the current epoch yet a stale
+// signature"); production code has no reason to call it. Safe on a nil cache.
 func (c *PlanCache) Keys() []CachedPlanKey {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]CachedPlanKey, 0, c.order.Len())
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*cacheEntry)
-		out = append(out, CachedPlanKey{
-			SQL:             e.key.sql,
-			Epoch:           e.key.epoch,
-			DataVersion:     e.key.dataVersion,
-			FeedbackVersion: e.key.fbver,
-			Ignored:         e.key.ignored,
-			Overrides:       e.key.overrides,
-			Signature:       e.plan.Signature(),
-			Cost:            e.plan.Cost(),
-		})
+	var out []CachedPlanKey
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			out = append(out, CachedPlanKey{
+				SQL:             e.plan.Query.SQL(),
+				Template:        e.key.template,
+				Buckets:         formatBuckets(e.key.buckets, len(e.plan.Query.Filters)),
+				Epoch:           e.key.epoch,
+				DataVersion:     e.key.dataVersion,
+				FeedbackVersion: e.key.fbver,
+				Ignored:         e.key.ignored,
+				Overrides:       e.key.overrides,
+				Signature:       e.plan.Signature(),
+				Cost:            e.plan.Cost(),
+			})
+		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// formatBuckets renders the first n bucket slots, "m" for bucketMissing.
+func formatBuckets(b [maxCachedParams]int8, n int) string {
+	if n > maxCachedParams {
+		n = maxCachedParams
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if b[i] == bucketMissing {
+			sb.WriteByte('m')
+		} else {
+			sb.WriteString(strconv.Itoa(int(b[i])))
+		}
+	}
+	return sb.String()
 }
 
 // Clear drops every cached plan but keeps the counters. Safe on a nil cache.
@@ -196,45 +339,29 @@ func (c *PlanCache) Clear() {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.order.Init()
-	c.entries = make(map[planKey]*list.Element, c.capacity)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.order.Init()
+		sh.entries = make(map[planKey]*list.Element, c.perShard)
+		sh.mu.Unlock()
+	}
 }
 
-// cacheKey builds the planKey for q under the session's current state. The
-// returned epoch lets Optimize re-check for concurrent statistics mutations
-// before publishing the plan.
-func (s *Session) cacheKey(sql string) planKey {
-	key := planKey{
-		sql:         sql,
+// cacheKey assembles the planKey for the session's current state from the
+// precomputed template and bucket vector. Every field is either an atomic
+// provider read or a string precomputed when the session mutated (ignored,
+// overrides) — the function performs no allocation, sorting or joining; see
+// BenchmarkCacheKey.
+func (s *Session) cacheKey(template string, buckets [maxCachedParams]int8) planKey {
+	return planKey{
+		template:    template,
+		buckets:     buckets,
 		epoch:       s.prov.Epoch(),
 		dataVersion: s.prov.Database().DataVersion(),
 		fbver:       s.corrVersion(),
 		magic:       s.Magic,
+		ignored:     s.ignoredKey,
+		overrides:   s.overridesKey,
 	}
-	if len(s.ignored) > 0 {
-		ids := make([]string, 0, len(s.ignored))
-		for id := range s.ignored {
-			ids = append(ids, string(id))
-		}
-		sort.Strings(ids)
-		key.ignored = strings.Join(ids, ",")
-	}
-	if len(s.overrides) > 0 {
-		vars := make([]int, 0, len(s.overrides))
-		for v := range s.overrides {
-			vars = append(vars, v)
-		}
-		sort.Ints(vars)
-		var b strings.Builder
-		for i, v := range vars {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d=%g", v, s.overrides[v])
-		}
-		key.overrides = b.String()
-	}
-	return key
 }

@@ -138,8 +138,18 @@ func TestPlanCacheSessionKnobsKeyed(t *testing.T) {
 }
 
 func TestPlanCacheLRUEviction(t *testing.T) {
+	// Distinct templates: with parameterized keys, dateQuery variants that
+	// differ only in their constant share one entry, so eviction needs
+	// statements whose shapes differ. Capacity 2 uses a single shard, making
+	// the LRU order exact and global.
 	sess, c := cachedSession(t, 2)
-	q1, q2, q3 := dateQuery(10000), dateQuery(10200), dateQuery(10400)
+	q1 := dateQuery(10000)
+	q2 := mkSelect([]string{"orders"},
+		[]query.Filter{{Col: col("orders", "o_totalprice"), Op: query.Gt, Val: catalog.NewFloat(1000)}},
+		nil, nil)
+	q3 := mkSelect([]string{"customer"},
+		[]query.Filter{{Col: col("customer", "c_custkey"), Op: query.Gt, Val: catalog.NewInt(10)}},
+		nil, nil)
 	p1, _ := sess.Optimize(q1)
 	_, _ = sess.Optimize(q2)
 	// Touch q1 so q2 is the LRU victim when q3 arrives.

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"autostats/internal/catalog"
 	"autostats/internal/histogram"
 	"autostats/internal/query"
 	"autostats/internal/stats"
@@ -54,6 +55,29 @@ func (e *estimator) visibleStatByID(id stats.ID) *stats.Statistic {
 	return e.sess.prov.Get(id)
 }
 
+// histogramOpSel estimates one comparison's selectivity from a histogram.
+// It is the single place the operator-to-histogram mapping lives: filterSel
+// uses it for costing and the plan cache's filterBucket uses it for key
+// bucketing, so the two can never drift apart.
+func histogramOpSel(h *histogram.Histogram, op query.CmpOp, v catalog.Datum) float64 {
+	switch op {
+	case query.Eq:
+		return h.SelectivityEq(v)
+	case query.Ne:
+		return 1 - h.SelectivityEq(v) - h.NullFraction()
+	case query.Lt:
+		return h.SelectivityLess(v, false)
+	case query.Le:
+		return h.SelectivityLess(v, true)
+	case query.Gt:
+		return 1 - h.SelectivityLess(v, true) - h.NullFraction()
+	case query.Ge:
+		return 1 - h.SelectivityLess(v, false) - h.NullFraction()
+	default:
+		return 1
+	}
+}
+
 // filterSel estimates the selectivity of one filter. When no statistic with
 // a matching leading column is visible, the predicate's selectivity variable
 // is recorded as missing and the override (if any) or the magic number is
@@ -63,23 +87,7 @@ func (e *estimator) filterSel(f query.Filter) float64 {
 	if len(cands) > 0 {
 		st := cands[0]
 		e.used[st.ID] = true
-		h := st.Data.Leading
-		var sel float64
-		switch f.Op {
-		case query.Eq:
-			sel = h.SelectivityEq(f.Val)
-		case query.Ne:
-			sel = 1 - h.SelectivityEq(f.Val) - h.NullFraction()
-		case query.Lt:
-			sel = h.SelectivityLess(f.Val, false)
-		case query.Le:
-			sel = h.SelectivityLess(f.Val, true)
-		case query.Gt:
-			sel = 1 - h.SelectivityLess(f.Val, true) - h.NullFraction()
-		case query.Ge:
-			sel = 1 - h.SelectivityLess(f.Val, false) - h.NullFraction()
-		}
-		return clampSel(sel)
+		return clampSel(histogramOpSel(st.Data.Leading, f.Op, f.Val))
 	}
 	e.missing[f.VarID] = true
 	if ov, ok := e.sess.overrides[f.VarID]; ok {

@@ -221,7 +221,15 @@ func (s *Select) FiltersOn(table string) []Filter {
 }
 
 // SQL renders the query.
-func (s *Select) SQL() string {
+func (s *Select) SQL() string { return s.render(false) }
+
+// Template renders the statement's parameterized canonical form: exactly the
+// SQL() print with every comparison constant (WHERE filter and HAVING
+// literals) replaced by '?'. Two statements share a template iff they differ
+// only in those lifted constants, which is what the plan cache keys on.
+func (s *Select) Template() string { return s.render(true) }
+
+func (s *Select) render(paramize bool) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	if s.Distinct {
@@ -243,7 +251,11 @@ func (s *Select) SQL() string {
 	b.WriteString(strings.Join(s.Tables, ", "))
 	conds := make([]string, 0, len(s.Filters)+len(s.Joins))
 	for _, f := range s.Filters {
-		conds = append(conds, f.String())
+		if paramize {
+			conds = append(conds, fmt.Sprintf("%s %s ?", f.Col, f.Op))
+		} else {
+			conds = append(conds, f.String())
+		}
 	}
 	for _, j := range s.Joins {
 		conds = append(conds, j.String())
@@ -260,7 +272,11 @@ func (s *Select) SQL() string {
 		b.WriteString(" HAVING ")
 		parts := make([]string, len(s.Having))
 		for i, h := range s.Having {
-			parts[i] = h.SQL()
+			if paramize {
+				parts[i] = fmt.Sprintf("%s %s ?", h.Agg.SQL(), h.Op)
+			} else {
+				parts[i] = h.SQL()
+			}
 		}
 		b.WriteString(strings.Join(parts, " AND "))
 	}

@@ -35,7 +35,9 @@ type lexer struct {
 func lex(input string) ([]token, error) {
 	l := &lexer{input: input}
 	for {
-		l.skipSpace()
+		if err := l.skipSpace(); err != nil {
+			return nil, err
+		}
 		if l.pos >= len(l.input) {
 			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
 			return l.toks, nil
@@ -89,10 +91,40 @@ func (l *lexer) emit(kind tokenKind, text string, pos int) {
 	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
 }
 
-func (l *lexer) skipSpace() {
-	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
-		l.pos++
+// skipSpace consumes whitespace and comments (`-- …` to end of line and
+// `/* … */` blocks). Comments are pure token separators: a statement that
+// differs only in comments lexes to the same token stream, which the plan
+// cache's canonical-text keying relies on. An unterminated block comment is
+// a lex error.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-':
+			l.pos += 2
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '*':
+			start := l.pos
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.input) {
+					return fmt.Errorf("sqlparser: unterminated block comment at %d", start)
+				}
+				if l.input[l.pos] == '*' && l.input[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
 	}
+	return nil
 }
 
 func isIdentStart(c byte) bool {

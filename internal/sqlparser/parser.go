@@ -444,10 +444,23 @@ func (p *parser) parseColumnRefList() ([]query.ColumnRef, error) {
 }
 
 // parseConjuncts parses cond (AND cond)* into s.Filters / s.Joins. BETWEEN
-// desugars to >= AND <=.
+// desugars to >= AND <=. Redundant parentheses around conjunct groups are
+// accepted and flattened — `(a = 1 AND b = 2) AND c = 3` parses identically
+// to the unparenthesized form, so the canonical print (and therefore the
+// plan-cache key) is stable across trivially-different spellings. Only
+// conjunctions occur inside groups (the grammar has no OR/NOT), so
+// flattening never changes semantics.
 func (p *parser) parseConjuncts(s *query.Select) error {
 	for {
-		if err := p.parseCondition(s); err != nil {
+		if p.atPunct("(") {
+			p.next()
+			if err := p.parseConjuncts(s); err != nil {
+				return err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		} else if err := p.parseCondition(s); err != nil {
 			return err
 		}
 		if !p.atKeyword("AND") {
