@@ -282,6 +282,42 @@ func (s *System) SetAgingWindow(ticks int64) {
 	s.mgr.AgingWindow = ticks
 }
 
+// DefaultMaxFoldFraction is the incremental-maintenance fold bound used when
+// EnableIncrementalMaintenance is called with 0.
+const DefaultMaxFoldFraction = stats.DefaultMaxFoldFraction
+
+// SetBuildParallelism splits every subsequent statistic build into up to k
+// concurrently summarized scan partitions whose partial histograms are merged
+// into the final statistic. The merged result is bitwise-identical to a
+// single-pass build at any k; values below 1 mean single-pass.
+func (s *System) SetBuildParallelism(k int) {
+	s.mgr.SetBuildParallelism(k)
+}
+
+// BuildParallelism returns the active build partition count (minimum 1).
+func (s *System) BuildParallelism() int {
+	return s.mgr.BuildParallelism()
+}
+
+// EnableIncrementalMaintenance switches statistics refreshes to incremental
+// (folding) maintenance: every table keeps a bounded delta log, and a refresh
+// folds the logged row modifications into the existing histogram instead of
+// rescanning the table, until the folded fraction exceeds maxFoldFraction
+// (0 means the default, stats.DefaultMaxFoldFraction) and a full rebuild
+// resets the drift.
+func (s *System) EnableIncrementalMaintenance(maxFoldFraction float64) error {
+	return s.mgr.SetIncrementalMaintenance(stats.FoldConfig{
+		Enabled:         true,
+		MaxFoldFraction: maxFoldFraction,
+	})
+}
+
+// DisableIncrementalMaintenance turns folding refreshes off and drops the
+// per-table delta logs; every refresh is a full rebuild again.
+func (s *System) DisableIncrementalMaintenance() error {
+	return s.mgr.SetIncrementalMaintenance(stats.FoldConfig{})
+}
+
 // CreateIndexedColumnStats builds single-column statistics on every indexed
 // column — the "tuned database" baseline of the paper's §1 experiment.
 func (s *System) CreateIndexedColumnStats() error {

@@ -39,11 +39,14 @@ import (
 
 func main() {
 	var (
-		dbName  = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
-		scale   = flag.Float64("scale", 0.5, "database scale factor")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		retries = flag.Int("retries", -1, "enable the resilience layer, retrying each failed statistic build this many times (-1 = resilience off)")
-		buildTO = flag.Duration("build-timeout", 0, "per-statistic build attempt timeout (needs -retries >= 0; 0 = unbounded)")
+		dbName   = flag.String("db", "TPCD_2", "database: TPCD_0 | TPCD_2 | TPCD_4 | TPCD_MIX")
+		scale    = flag.Float64("scale", 0.5, "database scale factor")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		retries  = flag.Int("retries", -1, "enable the resilience layer, retrying each failed statistic build this many times (-1 = resilience off)")
+		buildTO  = flag.Duration("build-timeout", 0, "per-statistic build attempt timeout (needs -retries >= 0; 0 = unbounded)")
+		buildPar = flag.Int("build-parallelism", 1, "scan partitions per statistic build; partial histograms are merged into a result identical to a single-pass build (<=1 = single-pass)")
+		incr     = flag.Bool("incremental", false, "incremental statistics maintenance: refreshes fold logged row deltas into histograms instead of rescanning")
+		foldFrac = flag.Float64("max-fold-fraction", 0, "folded-rows fraction above which a refresh rebuilds from a full scan (needs -incremental; 0 = default 0.1)")
 	)
 	flag.Parse()
 
@@ -79,11 +82,31 @@ func main() {
 		})
 		fmt.Printf("resilience ON: %d retries per build, build timeout %v\n", *retries, *buildTO)
 	}
+	if *buildPar > 1 {
+		sys.SetBuildParallelism(*buildPar)
+		fmt.Printf("partition-parallel builds ON: %d partitions per scan\n", *buildPar)
+	}
+	if *incr {
+		if err := sys.EnableIncrementalMaintenance(*foldFrac); err != nil {
+			fmt.Fprintln(os.Stderr, "autostatsql:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("incremental maintenance ON: refreshes fold row deltas (max fold fraction %v)\n",
+			orDefaultFrac(*foldFrac))
+	}
 	fmt.Printf("autostatsql — %s at scale %.2f. Type .help for commands.\n", *dbName, *scale)
 	if err := runREPL(ctx, sys, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autostatsql:", err)
 		os.Exit(1)
 	}
+}
+
+// orDefaultFrac renders the effective fold fraction (0 means the default).
+func orDefaultFrac(f float64) float64 {
+	if f <= 0 {
+		return autostats.DefaultMaxFoldFraction
+	}
+	return f
 }
 
 // maxRowsShown caps result printing.

@@ -40,6 +40,7 @@ func main() {
 		feedback  = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
 		benchOut  = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
 		bench6Out = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
+		bench7Out = flag.String("benchjson7", "", "write the PR-7 parallel-build bundle as JSON to this path (e.g. BENCH_PR7.json); fails if the 4-partition build speedup is <= 1x or any merged statistic differs from the single-pass build")
 		scale     = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		wl        = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
@@ -120,6 +121,14 @@ func main() {
 			runErr = fmt.Errorf("benchjson6: %w", err)
 		} else {
 			fmt.Printf("benchmark bundle written to %s\n", *bench6Out)
+		}
+	}
+
+	if *bench7Out != "" && runErr == nil {
+		if err := writeBench7JSON(*bench7Out, *scale); err != nil {
+			runErr = fmt.Errorf("benchjson7: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *bench7Out)
 		}
 	}
 
@@ -359,6 +368,48 @@ func writeBenchJSON(path, wl string, scale float64, seed int64, parallelism int)
 // gate: a zero hit rate on the repeated-template workload means statement
 // parameterization has regressed to the raw-SQL keying this bundle exists to
 // guard against, so the run fails rather than silently publishing it.
+// writeBench7JSON runs the PR-7 partition-parallel build bundle and applies
+// its smoke gate: the highest-parallelism arm must actually be faster than
+// the serial build (speedup > 1x), every partition-merged statistic must be
+// bit-identical to its single-pass reference (mismatches == 0), and the fold
+// demonstration must refresh without a table rescan.
+func writeBench7JSON(path string, scale float64) error {
+	s, err := bench.RunPR7(scale)
+	if err != nil {
+		return err
+	}
+	for _, arm := range s.Build.Arms {
+		fmt.Printf("build parallelism %d: total %v, critical path %v, speedup %.2fx, %d statistics, %d mismatches\n",
+			arm.Parallelism, arm.Wall.Round(time.Millisecond), arm.CriticalPathWall.Round(time.Millisecond),
+			arm.SpeedupX, s.Build.Statistics, arm.MergeMismatches)
+	}
+	fmt.Printf("manager parity at parallelism %d: %d statistics, %d parallel builds, %d partials merged, %d mismatches\n",
+		s.Build.Parity.Parallelism, s.Build.Parity.Statistics, s.Build.Parity.ParallelBuilds,
+		s.Build.Parity.PartialsMerged, s.Build.Parity.Mismatches)
+	fmt.Printf("fold: %d deltas on %s, full_scans %d -> %d, %d folds, cost %.0f vs rebuild %.0f units\n",
+		s.Fold.DeltaRows, s.Fold.Table, s.Fold.FullScansBefore, s.Fold.FullScansAfter,
+		s.Fold.FoldsApplied, s.Fold.FoldCostUnits, s.Fold.RebuildCostUnits)
+	if s.MergeMismatches > 0 {
+		return fmt.Errorf("smoke gate: %d partition-merged statistics differ from the single-pass build", s.MergeMismatches)
+	}
+	if s.SpeedupX <= 1.0 {
+		return fmt.Errorf("smoke gate: parallel build speedup %.2fx is not a speedup", s.SpeedupX)
+	}
+	if !s.Fold.NoRescan {
+		return fmt.Errorf("smoke gate: fold-eligible refresh rescanned the table (full_scans %d -> %d)",
+			s.Fold.FullScansBefore, s.Fold.FullScansAfter)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func writeBench6JSON(path, wl string, scale float64, seed int64, parallelism int) error {
 	s, err := bench.RunPR6(wl, scale, seed, parallelism)
 	if err != nil {

@@ -65,6 +65,9 @@ var (
 	timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
 	retries  = flag.Int("retries", -1, "enable the resilience layer, retrying each failed statistic build this many times (-1 = resilience off)")
 	buildTO  = flag.Duration("build-timeout", 0, "per-statistic build attempt timeout (needs -retries >= 0; 0 = unbounded)")
+	buildPar = flag.Int("build-parallelism", 1, "scan partitions per statistic build; partial histograms are merged into a result identical to a single-pass build (<=1 = single-pass)")
+	incr     = flag.Bool("incremental", false, "incremental statistics maintenance: refreshes fold logged row deltas into histograms instead of rescanning")
+	foldFrac = flag.Float64("max-fold-fraction", 0, "folded-rows fraction above which a refresh rebuilds from a full scan (needs -incremental; 0 = default 0.1)")
 )
 
 func main() {
@@ -145,6 +148,19 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Printf("loaded %d statistics from %s\n", len(mgr.All()), *loadFrom)
+	}
+	if *buildPar > 1 {
+		mgr.SetBuildParallelism(*buildPar)
+		fmt.Printf("partition-parallel builds: %d partitions per scan\n", *buildPar)
+	}
+	if *incr {
+		if err := mgr.SetIncrementalMaintenance(stats.FoldConfig{
+			Enabled:         true,
+			MaxFoldFraction: *foldFrac,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("incremental maintenance: refreshes fold row deltas (max fold fraction %v)\n", *foldFrac)
 	}
 	sess := optimizer.NewSession(mgr)
 	cache := optimizer.NewPlanCache(*cacheCap)

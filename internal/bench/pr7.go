@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+// BuildArm is one parallelism setting of the partition-parallel statistics
+// build benchmark. Every partition build and every merge is timed
+// individually, so the arm reports two walls:
+//
+//   - Wall: the sum of all phases — the measured wall on a single core.
+//   - CriticalPathWall: per build, the SLOWEST partition plus the merge —
+//     the wall on a machine with Parallelism idle cores, where partitions
+//     genuinely overlap. This is the number the partition-parallel design
+//     is about; on a few-core host the measured Wall shows little of it.
+//
+// MergeMismatches counts merged statistics that differed from the
+// single-pass build — the merge oracle, which must be 0 (the merge is exact).
+type BuildArm struct {
+	Parallelism      int
+	Wall             time.Duration
+	CriticalPathWall time.Duration
+	// SpeedupX is serial Wall / CriticalPathWall; WallSpeedupX is serial
+	// Wall / Wall (the single-core measurement, expected near or below 1).
+	SpeedupX        float64
+	WallSpeedupX    float64
+	MergeMismatches int
+}
+
+// ManagerParity is the end-to-end check that the stats.Manager build path
+// (SetBuildParallelism + partitioned scan + BuildMultiParallel) produces the
+// same statistics as a serial manager, and that the parallel path actually
+// engaged (counters from the obs registry).
+type ManagerParity struct {
+	Parallelism    int
+	Statistics     int
+	ParallelBuilds int64
+	PartialsMerged int64
+	Mismatches     int
+}
+
+// StatsBuildRow is the partition-parallel build benchmark over one database:
+// the histogram for every indexed column is built Rounds times at each
+// parallelism, over identical tuples.
+type StatsBuildRow struct {
+	DB         string
+	Scale      float64
+	Statistics int
+	// Rows is the total tuple count summarized per build round.
+	Rows   int64
+	Rounds int
+	Arms   []BuildArm
+	// SpeedupX is the highest-parallelism arm's critical-path speedup over
+	// serial; the acceptance bar for this bundle is >= 1.5x at 4 partitions.
+	SpeedupX        float64
+	MergeMismatches int
+	Parity          *ManagerParity
+}
+
+// columnSet is one indexed column's gathered tuples.
+type columnSet struct {
+	table  string
+	cols   []string
+	tuples [][]catalog.Datum
+}
+
+// gatherIndexedColumns pulls the tuples of every indexed column once, so all
+// arms time pure histogram construction over identical inputs.
+func gatherIndexedColumns(env *Env) ([]columnSet, int64, error) {
+	seen := map[string]bool{}
+	var sets []columnSet
+	var rows int64
+	for _, ix := range env.DB.Schema.Indexes {
+		key := ix.Table + "\x00" + ix.Column
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		td, err := env.DB.Table(ix.Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		tuples, err := td.MultiColumnValues([]string{ix.Column})
+		if err != nil {
+			return nil, 0, err
+		}
+		sets = append(sets, columnSet{table: ix.Table, cols: []string{ix.Column}, tuples: tuples})
+		rows += int64(len(tuples))
+	}
+	return sets, rows, nil
+}
+
+// runArm builds every column set rounds times at the given parallelism,
+// timing each partition and merge separately. refs, when non-nil, holds the
+// serial arm's results for the merge oracle.
+func runArm(sets []columnSet, par, rounds int, refs []*histogram.MultiColumn) (BuildArm, []*histogram.MultiColumn, error) {
+	arm := BuildArm{Parallelism: par}
+	out := make([]*histogram.MultiColumn, len(sets))
+	for r := 0; r < rounds; r++ {
+		for i, cs := range sets {
+			var mc *histogram.MultiColumn
+			var err error
+			if par <= 1 {
+				t0 := time.Now()
+				mc, err = histogram.BuildMulti(histogram.MaxDiff, cs.cols, cs.tuples, 0)
+				d := time.Since(t0)
+				arm.Wall += d
+				arm.CriticalPathWall += d
+			} else {
+				t0 := time.Now()
+				parts := histogram.SplitTuples(cs.tuples, par)
+				splitWall := time.Since(t0)
+				partials := make([]*histogram.Partial, len(parts))
+				var sum, slowest time.Duration
+				for j, p := range parts {
+					t0 = time.Now()
+					partials[j], err = histogram.BuildPartial(cs.cols, p)
+					d := time.Since(t0)
+					sum += d
+					if d > slowest {
+						slowest = d
+					}
+					if err != nil {
+						return arm, nil, err
+					}
+				}
+				t0 = time.Now()
+				mc, err = histogram.MergePartials(histogram.MaxDiff, cs.cols, partials, 0)
+				mergeWall := time.Since(t0)
+				arm.Wall += splitWall + sum + mergeWall
+				arm.CriticalPathWall += splitWall + slowest + mergeWall
+			}
+			if err != nil {
+				return arm, nil, err
+			}
+			if r == 0 {
+				out[i] = mc
+				if refs != nil && !reflect.DeepEqual(mc, refs[i]) {
+					arm.MergeMismatches++
+				}
+			}
+		}
+	}
+	return arm, out, nil
+}
+
+// managerParity builds the full indexed-column statistic set through two
+// stats.Managers over identical data — one serial, one at the given
+// parallelism — and compares every published statistic.
+func managerParity(dbName string, scale float64, par int) (*ManagerParity, error) {
+	serialEnv, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := serialEnv.CreateIndexedColumnStats(); err != nil {
+		return nil, err
+	}
+	parEnv, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.New()
+	parEnv.Mgr.SetObsRegistry(reg)
+	parEnv.Mgr.SetBuildParallelism(par)
+	if err := parEnv.CreateIndexedColumnStats(); err != nil {
+		return nil, err
+	}
+	serial := map[stats.ID]*stats.Statistic{}
+	for _, st := range serialEnv.Mgr.All() {
+		serial[st.ID] = st
+	}
+	p := &ManagerParity{Parallelism: par}
+	for _, st := range parEnv.Mgr.All() {
+		p.Statistics++
+		ref, ok := serial[st.ID]
+		if !ok || !reflect.DeepEqual(st.Data, ref.Data) {
+			p.Mismatches++
+		}
+	}
+	snap := reg.Snapshot()
+	p.ParallelBuilds = snap.Counters["stats.build.parallel_builds"]
+	p.PartialsMerged = snap.Counters["stats.build.partials_merged"]
+	return p, nil
+}
+
+// RunStatsBuild measures the partition-parallel histogram build: the same
+// statistic set is built at each parallelism in pars (pars[0] must be 1, the
+// serial reference) and every merged statistic is compared bit-for-bit
+// against the serial build.
+func RunStatsBuild(dbName string, scale float64, rounds int, pars []int) (*StatsBuildRow, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if len(pars) == 0 || pars[0] != 1 {
+		return nil, fmt.Errorf("bench: pars must start with the serial arm, got %v", pars)
+	}
+	env, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	sets, rows, err := gatherIndexedColumns(env)
+	if err != nil {
+		return nil, err
+	}
+	row := &StatsBuildRow{DB: dbName, Scale: scale, Statistics: len(sets), Rows: rows, Rounds: rounds}
+	var refs []*histogram.MultiColumn
+	var serialWall time.Duration
+	for _, par := range pars {
+		arm, built, err := runArm(sets, par, rounds, refs)
+		if err != nil {
+			return nil, err
+		}
+		if par == 1 {
+			refs, serialWall = built, arm.Wall
+		} else {
+			if arm.CriticalPathWall > 0 {
+				arm.SpeedupX = float64(serialWall) / float64(arm.CriticalPathWall)
+			}
+			if arm.Wall > 0 {
+				arm.WallSpeedupX = float64(serialWall) / float64(arm.Wall)
+			}
+			row.MergeMismatches += arm.MergeMismatches
+			row.SpeedupX = arm.SpeedupX
+		}
+		row.Arms = append(row.Arms, arm)
+	}
+	parity, err := managerParity(dbName, scale, pars[len(pars)-1])
+	if err != nil {
+		return nil, err
+	}
+	row.Parity = parity
+	row.MergeMismatches += parity.Mismatches
+	return row, nil
+}
+
+// FoldRow is the incremental-maintenance demonstration: after a small DML
+// batch, refreshing the table's statistics folds the logged deltas into the
+// histograms instead of rescanning — the stats.build.full_scans counter does
+// not move, and the charged cost is FoldCostUnits instead of BuildCostUnits.
+type FoldRow struct {
+	Table      string
+	TableRows  int
+	Statistics int
+	DeltaRows  int
+	// FullScansBefore/After bracket the refresh; equality is the "no rescan"
+	// evidence the acceptance criteria ask for.
+	FullScansBefore int64
+	FullScansAfter  int64
+	FoldsApplied    int64
+	FoldedRows      int64
+	// FoldCostUnits is what the refresh actually charged; RebuildCostUnits is
+	// what full rebuilds of the same statistics would have charged.
+	FoldCostUnits    float64
+	RebuildCostUnits float64
+	NoRescan         bool
+}
+
+// RunFoldDemo enables incremental maintenance on a fresh database, builds the
+// indexed-column statistics, applies a small batch of inserts to the largest
+// statistics-bearing table (copies of its own rows, so the schema stays
+// valid), and refreshes that table.
+func RunFoldDemo(dbName string, scale float64, deltaRows int) (*FoldRow, error) {
+	env, err := NewEnv(dbName, scale)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.New()
+	env.Mgr.SetObsRegistry(reg)
+	if err := env.Mgr.SetIncrementalMaintenance(stats.FoldConfig{Enabled: true}); err != nil {
+		return nil, err
+	}
+	if err := env.CreateIndexedColumnStats(); err != nil {
+		return nil, err
+	}
+	// The largest indexed table keeps the delta batch far below the fold
+	// threshold (a tiny table would push the batch over MaxFoldFraction and
+	// the refresh would — correctly — rebuild instead of folding).
+	var td *storage.TableData
+	var table string
+	for _, ix := range env.DB.Schema.Indexes {
+		t, err := env.DB.Table(ix.Table)
+		if err != nil {
+			return nil, err
+		}
+		if td == nil || t.RowCount() > td.RowCount() {
+			td, table = t, ix.Table
+		}
+	}
+	if td == nil {
+		return nil, fmt.Errorf("bench: %s has no indexed columns", dbName)
+	}
+	onTable := env.Mgr.StatsOnTable(table)
+	if len(onTable) == 0 {
+		return nil, fmt.Errorf("bench: no statistics on %s", table)
+	}
+	if max := td.RowCount() / 20; deltaRows > max {
+		deltaRows = max
+	}
+	if deltaRows < 1 {
+		deltaRows = 1
+	}
+
+	// Re-insert copies of existing rows: valid by construction, and small
+	// enough to stay under the fold threshold.
+	var batch []storage.Row
+	td.Scan(func(id int, r storage.Row) bool {
+		batch = append(batch, append(storage.Row(nil), r...))
+		return len(batch) < deltaRows
+	})
+	for _, r := range batch {
+		if err := td.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+
+	row := &FoldRow{
+		Table:           table,
+		Statistics:      len(onTable),
+		DeltaRows:       len(batch),
+		FullScansBefore: reg.Snapshot().Counters["stats.build.full_scans"],
+	}
+	acctBefore := env.Mgr.Snapshot()
+	if _, err := env.Mgr.RefreshTable(table); err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	acct := env.Mgr.Snapshot()
+	row.TableRows = td.RowCount()
+	row.FullScansAfter = snap.Counters["stats.build.full_scans"]
+	row.FoldsApplied = snap.Counters["stats.fold.applied"]
+	row.FoldedRows = snap.Counters["stats.fold.rows"]
+	row.FoldCostUnits = acct.TotalUpdateCost - acctBefore.TotalUpdateCost
+	row.NoRescan = row.FullScansAfter == row.FullScansBefore
+	for _, st := range env.Mgr.StatsOnTable(table) {
+		row.RebuildCostUnits += histogram.BuildCostUnits(int64(td.RowCount()), len(st.Columns))
+	}
+	return row, nil
+}
+
+// PR7Summary is the machine-readable benchmark bundle for the sharded-
+// manager / partition-parallel-build PR: the build speedup ladder with its
+// merge oracle and manager-parity check, and the fold demonstration with its
+// no-rescan evidence. Serialized to BENCH_PR7.json by cmd/experiments
+// -benchjson7.
+type PR7Summary struct {
+	Scale float64
+	DB    string
+	Build *StatsBuildRow
+	Fold  *FoldRow
+	// SpeedupX and MergeMismatches are the headline gate numbers: the
+	// highest-parallelism critical-path build speedup (must exceed 1x;
+	// target >= 1.5x at 4 partitions) and the count of merged statistics
+	// differing from the single-pass build (must be 0).
+	SpeedupX        float64
+	MergeMismatches int
+}
+
+// RunPR7 gathers the PR-7 benchmark bundle on TPCD_2 at the given scale.
+func RunPR7(scale float64) (*PR7Summary, error) {
+	const dbName = "TPCD_2"
+	build, err := RunStatsBuild(dbName, scale, 20, []int{1, 2, 4})
+	if err != nil {
+		return nil, err
+	}
+	fold, err := RunFoldDemo(dbName, scale, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &PR7Summary{
+		Scale:           scale,
+		DB:              dbName,
+		Build:           build,
+		Fold:            fold,
+		SpeedupX:        build.SpeedupX,
+		MergeMismatches: build.MergeMismatches,
+	}, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR7Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

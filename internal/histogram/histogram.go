@@ -11,6 +11,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -69,6 +70,48 @@ type valueFreq struct {
 	f int64
 }
 
+// tieBreak orders Compare-equal datums deterministically. Datum.Compare is a
+// total order over values but treats cross-type numerics as equal (3 == 3.0),
+// so the representative kept after collapsing duplicates would otherwise
+// depend on input order — and a partition-merged build could disagree with a
+// single-pass build over the same rows. Collapsing still groups by Compare;
+// tieBreak only pins which member of the group represents it.
+func tieBreak(a, b catalog.Datum) int {
+	if a.Null != b.Null {
+		if a.Null {
+			return -1
+		}
+		return 1
+	}
+	if a.T != b.T {
+		if a.T < b.T {
+			return -1
+		}
+		return 1
+	}
+	if a.I != b.I {
+		if a.I < b.I {
+			return -1
+		}
+		return 1
+	}
+	if ab, bb := math.Float64bits(a.F), math.Float64bits(b.F); ab != bb {
+		if ab < bb {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.S, b.S)
+}
+
+// cmpValue is Compare with the deterministic tie-break applied to equals.
+func cmpValue(a, b catalog.Datum) int {
+	if c := a.Compare(b); c != 0 {
+		return c
+	}
+	return tieBreak(a, b)
+}
+
 func collectFreqs(values []catalog.Datum) (freqs []valueFreq, nulls int64) {
 	sorted := make([]catalog.Datum, 0, len(values))
 	for _, v := range values {
@@ -78,7 +121,7 @@ func collectFreqs(values []catalog.Datum) (freqs []valueFreq, nulls int64) {
 		}
 		sorted = append(sorted, v)
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	sort.Slice(sorted, func(i, j int) bool { return cmpValue(sorted[i], sorted[j]) < 0 })
 	for i := 0; i < len(sorted); {
 		j := i + 1
 		for j < len(sorted) && sorted[j].Compare(sorted[i]) == 0 {
@@ -93,10 +136,18 @@ func collectFreqs(values []catalog.Datum) (freqs []valueFreq, nulls int64) {
 // Build constructs a histogram of the given kind over the column values
 // with at most maxBuckets buckets (DefaultBuckets if maxBuckets <= 0).
 func Build(kind Kind, values []catalog.Datum, maxBuckets int) *Histogram {
+	freqs, nulls := collectFreqs(values)
+	return buildFromFreqs(kind, freqs, nulls, maxBuckets)
+}
+
+// buildFromFreqs buckets an already-sorted, collapsed (value, frequency) list.
+// It is the single bucketing entry point shared by Build and MergePartials, so
+// a merged build is bitwise-identical to a single-pass build over the same
+// rows.
+func buildFromFreqs(kind Kind, freqs []valueFreq, nulls int64, maxBuckets int) *Histogram {
 	if maxBuckets <= 0 {
 		maxBuckets = DefaultBuckets
 	}
-	freqs, nulls := collectFreqs(values)
 	h := &Histogram{Kind: kind, NullRows: nulls, Distinct: int64(len(freqs))}
 	for _, vf := range freqs {
 		h.Rows += vf.f

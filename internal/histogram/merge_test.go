@@ -1,0 +1,134 @@
+package histogram
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autostats/internal/catalog"
+)
+
+// randTuples generates width-column tuples with skewed integer values and a
+// sprinkling of NULLs and strings, the mix the merge path must reproduce
+// exactly.
+func randTuples(rng *rand.Rand, n, width int) [][]catalog.Datum {
+	out := make([][]catalog.Datum, n)
+	for i := range out {
+		t := make([]catalog.Datum, width)
+		for c := range t {
+			switch rng.Intn(10) {
+			case 0:
+				t[c] = catalog.Datum{Null: true}
+			case 1:
+				t[c] = catalog.NewString([]string{"aa", "bb", "cc", "dd"}[rng.Intn(4)])
+			case 2:
+				t[c] = catalog.NewFloat(float64(rng.Intn(50)) / 4)
+			default:
+				// Zipf-ish skew: small values dominate.
+				t[c] = catalog.NewInt(int64(rng.Intn(rng.Intn(200) + 1)))
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// TestBuildMultiParallelMatchesSinglePass: the merged build must be
+// bitwise-identical to BuildMulti for every kind, width, size and partition
+// count — the exactness claim the differential oracle leans on.
+func TestBuildMultiParallelMatchesSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []Kind{EquiDepth, MaxDiff} {
+		for _, width := range []int{1, 2, 3} {
+			for _, n := range []int{0, 1, 17, 500} {
+				cols := []string{"a", "b", "c"}[:width]
+				tuples := randTuples(rng, n, width)
+				for _, buckets := range []int{0, 8} {
+					want, err := BuildMulti(kind, cols, tuples, buckets)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, parts := range []int{1, 2, 4, 7} {
+						got, err := BuildMultiParallel(kind, cols, SplitTuples(tuples, parts), buckets)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("%v width=%d n=%d buckets=%d parts=%d: merged build differs\nwant %+v\ngot  %+v",
+								kind, width, n, buckets, parts, want, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergePartialsOrderIndependent: permuting the partition order must not
+// change the merged statistic.
+func TestMergePartialsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cols := []string{"a", "b"}
+	tuples := randTuples(rng, 300, 2)
+	chunks := SplitTuples(tuples, 4)
+	parts := make([]*Partial, len(chunks))
+	for i, c := range chunks {
+		p, err := BuildPartial(cols, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+	want, err := MergePartials(MaxDiff, cols, parts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]*Partial(nil), parts...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err := MergePartials(MaxDiff, cols, perm, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: partition order changed the merged statistic", trial)
+		}
+	}
+}
+
+// TestMergePartialsArityMismatch: mismatched partials must error, not panic.
+func TestMergePartialsArityMismatch(t *testing.T) {
+	p1, err := BuildPartial([]string{"a"}, [][]catalog.Datum{{catalog.NewInt(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergePartials(MaxDiff, []string{"a", "b"}, []*Partial{p1}, 0); err == nil {
+		t.Fatal("expected arity mismatch error")
+	}
+	if _, err := BuildPartial(nil, nil); err == nil {
+		t.Fatal("expected no-columns error")
+	}
+	if _, err := BuildPartial([]string{"a"}, [][]catalog.Datum{{catalog.NewInt(1), catalog.NewInt(2)}}); err == nil {
+		t.Fatal("expected tuple arity error")
+	}
+}
+
+func TestSplitTuples(t *testing.T) {
+	tuples := randTuples(rand.New(rand.NewSource(3)), 10, 1)
+	for _, k := range []int{-1, 0, 1, 3, 10, 25} {
+		parts := SplitTuples(tuples, k)
+		var total int
+		for _, p := range parts {
+			total += len(p)
+		}
+		if total != len(tuples) {
+			t.Fatalf("k=%d: split covers %d of %d tuples", k, total, len(tuples))
+		}
+		if k > 1 && len(parts) > k {
+			t.Fatalf("k=%d: %d partitions", k, len(parts))
+		}
+	}
+	if parts := SplitTuples(nil, 4); len(parts) != 1 || len(parts[0]) != 0 {
+		t.Fatalf("empty input: got %d partitions", len(parts))
+	}
+}

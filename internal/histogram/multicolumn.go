@@ -46,19 +46,22 @@ func BuildMulti(kind Kind, columns []string, tuples [][]catalog.Datum, maxBucket
 		PrefixDistinct: make([]int64, len(columns)),
 		Rows:           int64(len(tuples)),
 	}
-	// Count distinct combinations for each leading prefix.
-	for k := 1; k <= len(columns); k++ {
+	// The leading prefix's distinct count comes from the histogram itself —
+	// distinct non-NULL values plus one combination for NULL when present —
+	// so it uses the same value-equality (Datum.Compare) the estimator uses,
+	// and single-pass and partition-merged builds agree exactly.
+	dv := mc.Leading.Distinct
+	if mc.Leading.NullRows > 0 {
+		dv++
+	}
+	setPrefixDistinct(mc, 0, dv)
+	// Count distinct combinations for each longer leading prefix.
+	for k := 2; k <= len(columns); k++ {
 		seen := make(map[string]struct{}, len(tuples))
 		for _, t := range tuples {
 			seen[encodePrefix(t[:k])] = struct{}{}
 		}
-		dv := int64(len(seen))
-		mc.PrefixDistinct[k-1] = dv
-		if dv > 0 {
-			mc.Densities[k-1] = 1 / float64(dv)
-		} else {
-			mc.Densities[k-1] = 1
-		}
+		setPrefixDistinct(mc, k-1, int64(len(seen)))
 	}
 	return mc, nil
 }

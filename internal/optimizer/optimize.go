@@ -31,6 +31,16 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	// (and caches) a healthy plan again.
 	degraded := len(s.degraded) > 0
 
+	// What-if probes — optimizations under an ignored-statistics subset
+	// (MNSA's shrinking-set search) — bypass the cache in both directions
+	// too: their plans reflect a hypothetical statistics configuration no
+	// production statement will ever run under, so inserting them would
+	// pollute the cache with entries that can never be hits, and a tuning
+	// sweep would evict the workload's real plans. They are counted as
+	// bypasses, not misses: the hit rate should measure the production
+	// workload, not the tuner's probes.
+	whatIf := len(s.ignored) > 0
+
 	// The cache key is parameterized: the statement template plus the
 	// selectivity bucket of each lifted constant (see paramkey.go).
 	// Statements with more filters than the key can carry bypass the cache.
@@ -40,7 +50,7 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	// below) is abandoned rather than risk caching under a torn key.
 	var key planKey
 	cacheable := false
-	if s.cache != nil && !degraded && len(q.Filters) <= maxCachedParams {
+	if s.cache != nil && !degraded && !whatIf && len(q.Filters) <= maxCachedParams {
 		e0 := s.prov.Epoch()
 		tmpl, buckets := s.planParams(q)
 		key = s.cacheKey(tmpl, buckets)
@@ -64,6 +74,12 @@ func (s *Session) Optimize(q *query.Select) (*Plan, error) {
 	if degraded {
 		p.Degraded = s.DegradedReasons()
 		s.met.degradedPlans.Inc()
+		if s.cache != nil {
+			s.met.cacheBypasses.Inc()
+		}
+		return p, nil
+	}
+	if whatIf {
 		if s.cache != nil {
 			s.met.cacheBypasses.Inc()
 		}

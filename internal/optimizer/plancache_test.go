@@ -99,41 +99,50 @@ func TestPlanCacheSessionKnobsKeyed(t *testing.T) {
 	}
 	q := dateQuery(10400)
 	p1, _ := sess.Optimize(q)
-	// Same query with the statistic ignored is a different cache entry.
+	// A non-empty ignore buffer marks the session as running what-if probes:
+	// those optimizations bypass the cache entirely — no lookup, no insert —
+	// so hypothetical-configuration plans can never pollute the production
+	// cache (they surface as bypasses, not misses).
+	bypassBefore := sess.Obs().Snapshot().Counters["degraded.plancache_bypasses"]
 	if err := sess.IgnoreStatisticsSubset("", []stats.ID{id.ID}); err != nil {
 		t.Fatal(err)
 	}
 	p2, _ := sess.Optimize(q)
 	if p1 == p2 {
-		t.Error("ignore buffer must be part of the cache key")
+		t.Error("ignoring the statistic must not serve the cached production plan")
 	}
-	// And with a selectivity override on the filter's variable, different
-	// again (overrides only bite where statistics are missing, so ignore the
-	// statistic too).
-	p3, _ := sess.Optimize(q)
+	// Overrides bite under the ignored statistic and must change the probe's
+	// plan content, even though neither probe touches the cache.
 	sess.SetSelectivityOverrides(map[int]float64{q.Filters[0].VarID: 0.0005})
-	p4, _ := sess.Optimize(q)
-	if p4 == p3 {
-		t.Error("selectivity overrides must be part of the cache key")
+	p3, _ := sess.Optimize(q)
+	if p3.Signature() == p2.Signature() {
+		t.Error("selectivity override should change the what-if plan")
+	}
+	st := c.Stats()
+	if st.Size != 1 || st.Misses != 1 {
+		t.Errorf("what-if probes must not touch the cache: %+v", st)
+	}
+	bypasses := sess.Obs().Snapshot().Counters["degraded.plancache_bypasses"] - bypassBefore
+	if bypasses != 2 {
+		t.Errorf("plancache_bypasses = %d, want 2 (one per ignored-set probe)", bypasses)
 	}
 	sess.ClearOverrides()
 	sess.ClearIgnored()
-	// Magic numbers too.
+	// Magic numbers are part of the cache key.
 	orig := sess.Magic
 	sess.Magic.Range = 0.5
 	p5, _ := sess.Optimize(q)
 	if p5 == p1 {
 		t.Error("magic numbers must be part of the cache key")
 	}
-	if st := c.Stats(); st.Hits < 1 {
-		// p3 should have hit p2's entry; everything else misses.
-		t.Errorf("expected the repeated ignored-set lookup to hit: %+v", st)
-	}
 	// Restoring the original knobs hits the original entry.
 	sess.Magic = orig
 	p6, _ := sess.Optimize(q)
 	if p6 != p1 {
 		t.Error("restoring session knobs should hit the original cache entry")
+	}
+	if st := c.Stats(); st.Hits < 1 {
+		t.Errorf("expected the restored-knobs lookup to hit: %+v", st)
 	}
 }
 

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+)
+
+// Statistic construction and incremental maintenance. Builds are
+// partition-parallel: the table scan is split into contiguous partitions,
+// each partition is summarized into a mergeable partial concurrently, and
+// the partials are merged into the final histogram — bitwise-identical to a
+// single-pass build (see internal/histogram's merge machinery). Refreshes
+// can avoid the scan entirely by folding logged row deltas into the
+// existing histogram, falling back to a full rebuild once the folded
+// fraction crosses FoldConfig.MaxFoldFraction.
+
+// DefaultMaxFoldFraction bounds the fold error when FoldConfig does not:
+// once folded row deltas exceed this fraction of the table, the next
+// refresh rebuilds from a full scan.
+const DefaultMaxFoldFraction = 0.1
+
+// FoldConfig controls incremental (folding) statistics maintenance.
+type FoldConfig struct {
+	// Enabled turns folding refreshes on and enables the per-table delta
+	// logs that feed them.
+	Enabled bool
+	// MaxFoldFraction is the folded-rows-to-table-rows ratio above which a
+	// refresh rebuilds from scratch instead of folding; <= 0 means
+	// DefaultMaxFoldFraction. Bucket boundaries, distinct counts and
+	// densities go stale under folding — this bounds that drift.
+	MaxFoldFraction float64
+	// DeltaLogCap is the per-table delta-log capacity in records; <= 0
+	// means storage.DefaultDeltaLogCap. A log overflow invalidates
+	// outstanding watermarks, forcing the next refresh to rebuild.
+	DeltaLogCap int
+}
+
+// SetBuildParallelism sets the partition count for histogram builds:
+// subsequent Create/Refresh calls split the table scan into up to k
+// partitions, summarize them concurrently, and merge the partials. Values
+// below 1 mean single-pass. The merged result is identical to a
+// single-pass build regardless of k.
+func (m *Manager) SetBuildParallelism(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	m.parallelism = k
+}
+
+// BuildParallelism returns the active build partition count (minimum 1).
+func (m *Manager) BuildParallelism() int {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	if m.parallelism < 1 {
+		return 1
+	}
+	return m.parallelism
+}
+
+// SetIncrementalMaintenance configures folding refreshes and switches the
+// per-table delta logs on or off accordingly. Enabling starts the logs
+// empty: modifications made before this call were never recorded, so the
+// first refresh of each statistic still rebuilds; subsequent refreshes fold.
+func (m *Manager) SetIncrementalMaintenance(cfg FoldConfig) error {
+	if cfg.MaxFoldFraction < 0 || cfg.MaxFoldFraction > 1 {
+		return fmt.Errorf("stats: fold fraction %v out of [0,1]", cfg.MaxFoldFraction)
+	}
+	m.cfgMu.Lock()
+	m.fold = cfg
+	m.cfgMu.Unlock()
+	for name := range m.db.Schema.Tables {
+		td, err := m.db.Table(name)
+		if err != nil {
+			continue
+		}
+		if cfg.Enabled {
+			td.EnableDeltaLog(cfg.DeltaLogCap)
+		} else {
+			td.DisableDeltaLog()
+		}
+	}
+	return nil
+}
+
+// IncrementalMaintenance returns the active fold configuration.
+func (m *Manager) IncrementalMaintenance() FoldConfig {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	return m.fold
+}
+
+// build constructs a fresh Statistic from current data with a full
+// (partition-parallel) table scan. It bumps the logical clock but charges
+// no accounting; EnsureCtx and refreshShardLocked charge the build- and
+// update-side counters respectively. Cancellation is checked between the
+// build steps (value extraction, sampling, histogram construction), so a
+// deadline aborts the build at the next step boundary with no state
+// published. Callers must hold the owning shard's write lock.
+func (m *Manager) build(ctx context.Context, table string, cols []string, met managerMetrics) (*Statistic, error) {
+	id := MakeID(table, cols)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	td, err := m.db.Table(table)
+	if err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	par := m.BuildParallelism()
+	// One read-locked pass gathers the tuples and the delta-log watermark
+	// atomically: the returned DeltaSeq is exactly the table state the
+	// histogram summarizes, so a later folding refresh replays precisely
+	// the modifications the build did not see.
+	parts, seq, err := td.MultiColumnValuesPartitioned(cols, par)
+	if err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	start := time.Now()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	processed := total
+	if cfg := m.Sampling(); cfg.Fraction > 0 && cfg.Fraction < 1 {
+		// Sample over the full row set, then re-partition the sample: the
+		// seeded sample is identical at any parallelism, so sampled builds
+		// stay deterministic in the partition count too.
+		flat := parts[0]
+		if len(parts) > 1 {
+			flat = make([][]catalog.Datum, 0, total)
+			for _, p := range parts {
+				flat = append(flat, p...)
+			}
+		}
+		sampled := sampleTuples(cfg, id, flat)
+		processed = len(sampled)
+		parts = histogram.SplitTuples(sampled, par)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	mc, err := histogram.BuildMultiParallel(m.kind, cols, parts, m.maxBuckets)
+	if err != nil {
+		return nil, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+	if processed < total {
+		scaleSampled(mc, processed, total)
+	}
+	elapsed := time.Since(start)
+	// Creation cost reflects the rows actually processed — sampling is
+	// exactly how real systems cheapen construction.
+	cost := histogram.BuildCostUnits(int64(processed), len(cols))
+	met.fullScans.Inc()
+	if len(parts) > 1 {
+		met.parallelBuilds.Inc()
+		met.partialsMerged.Add(int64(len(parts)))
+	}
+	now := m.clock.Add(1)
+	return &Statistic{
+		ID:        id,
+		Table:     strings.ToLower(table),
+		Columns:   lowerAll(cols),
+		Data:      mc,
+		BuildCost: cost,
+		BuildTime: elapsed,
+		CreatedAt: now,
+		UpdatedAt: now,
+		DeltaSeq:  seq,
+	}, nil
+}
+
+// rebuildOrFold produces the refreshed replacement for s and the update
+// cost to charge: a cheap fold of logged row deltas when eligible, a full
+// rebuild otherwise. Callers must hold the owning shard's write lock.
+func (m *Manager) rebuildOrFold(ctx context.Context, s *Statistic, met managerMetrics) (*Statistic, float64, error) {
+	if folded, cost, ok := m.tryFold(ctx, s, met); ok {
+		return folded, cost, nil
+	}
+	fresh, err := m.build(ctx, s.Table, s.Columns, met)
+	if err != nil {
+		return nil, 0, err
+	}
+	fresh.CreatedAt = s.CreatedAt
+	fresh.UpdateCount = s.UpdateCount + 1
+	fresh.InDropList = s.InDropList
+	return fresh, fresh.BuildCost, nil
+}
+
+// tryFold refreshes s by folding the table's logged row deltas into the
+// existing histogram, avoiding the table scan entirely. It declines (ok
+// false) when folding is disabled, the stat was sampled, the delta window
+// is unavailable (log disabled, trimmed, or overflowed), or the accumulated
+// fold error would cross the configured bound — the caller then rebuilds.
+func (m *Manager) tryFold(ctx context.Context, s *Statistic, met managerMetrics) (*Statistic, float64, bool) {
+	cfg := m.IncrementalMaintenance()
+	if !cfg.Enabled || s.Data == nil || ctx.Err() != nil {
+		return nil, 0, false
+	}
+	if sc := m.Sampling(); sc.Fraction > 0 && sc.Fraction < 1 {
+		// A sampled histogram is already scaled to the population; folding
+		// raw deltas into it would mix units. Sampled refreshes re-sample.
+		return nil, 0, false
+	}
+	td, err := m.db.Table(s.Table)
+	if err != nil {
+		return nil, 0, false
+	}
+	recs, next, ok := td.DeltaWindow(s.DeltaSeq)
+	if !ok {
+		met.foldRebuilds.Inc()
+		return nil, 0, false
+	}
+	frac := cfg.MaxFoldFraction
+	if frac <= 0 {
+		frac = DefaultMaxFoldFraction
+	}
+	tableRows := td.RowCount()
+	if tableRows < 1 {
+		tableRows = 1
+	}
+	pending := s.FoldedRows + int64(len(recs))
+	if float64(pending) > frac*float64(tableRows) {
+		met.foldRebuilds.Inc()
+		return nil, 0, false
+	}
+	ci := td.Schema.ColumnIndex(s.LeadingColumn())
+	if ci < 0 {
+		return nil, 0, false
+	}
+	start := time.Now()
+	var ins, del []catalog.Datum
+	for _, r := range recs {
+		if r.Del {
+			del = append(del, r.Row[ci])
+		} else {
+			ins = append(ins, r.Row[ci])
+		}
+	}
+	folded := *s
+	folded.Data = histogram.FoldMulti(s.Data, ins, del)
+	folded.BuildTime = time.Since(start)
+	folded.UpdatedAt = m.clock.Add(1)
+	folded.UpdateCount = s.UpdateCount + 1
+	folded.FoldedRows = pending
+	folded.DeltaSeq = next
+	cost := histogram.FoldCostUnits(int64(len(recs)))
+	met.folds.Inc()
+	met.foldedRows.Add(int64(len(recs)))
+	return &folded, cost, true
+}

@@ -30,14 +30,14 @@ type FeedbackProvider interface {
 // SetFeedbackProvider installs (or, with nil, removes) the execution-feedback
 // source consulted by RunMaintenance. Safe for concurrent use.
 func (m *Manager) SetFeedbackProvider(p FeedbackProvider) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	m.feedback = p
 }
 
 // feedbackProvider returns the installed provider, or nil.
 func (m *Manager) feedbackProvider() FeedbackProvider {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
 	return m.feedback
 }

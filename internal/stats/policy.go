@@ -170,9 +170,13 @@ func (m *Manager) RunMaintenanceCtx(ctx context.Context, p MaintenancePolicy) (M
 		if err != nil {
 			return rep, err
 		}
-		rows := td.RowCount()
-		threshold := p.UpdateFraction * float64(rows)
-		if rows == 0 || float64(td.ModCounter()) <= threshold {
+		// The threshold is relative to the CURRENT row count, so a table
+		// emptied by deletes has threshold 0 and any pending modifications
+		// trigger a refresh. (Skipping empty tables here would strand their
+		// statistics at the pre-delete cardinalities forever: the mod counter
+		// keeps growing but the refresh never fires.)
+		threshold := p.UpdateFraction * float64(td.RowCount())
+		if float64(td.ModCounter()) <= threshold {
 			continue
 		}
 		if p.SkipTable != nil && p.SkipTable(table) {

@@ -132,3 +132,52 @@ func TestMaintenanceCostUnderConcurrentRefresh(t *testing.T) {
 		t.Errorf("TotalUpdateCost = %v, expected concurrent refreshes beyond %v", got, want)
 	}
 }
+
+// TestMaintenanceRefreshesEmptiedTable is the mass-delete regression test:
+// a table whose rows were ALL deleted still has pending modifications, and
+// the maintenance pass must refresh its statistics so they report zero rows.
+// (A former guard skipped tables with RowCount 0 entirely, stranding their
+// statistics at the pre-delete cardinalities forever.)
+func TestMaintenanceRefreshesEmptiedTable(t *testing.T) {
+	db := maintDB(t)
+	m := NewManager(db, histogram.MaxDiff, 0)
+	st, err := m.Create("hot", []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Data.Rows != 100 {
+		t.Fatalf("pre-delete stat rows = %d, want 100", st.Data.Rows)
+	}
+	td := mustTable(t, db, "hot")
+	var ids []int
+	td.Scan(func(id int, _ storage.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if n := td.Delete(ids); n != 100 {
+		t.Fatalf("deleted %d rows, want 100", n)
+	}
+	rep, err := m.RunMaintenance(MaintenancePolicy{UpdateFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TablesRefreshed != 1 || rep.StatsRefreshed != 1 {
+		t.Fatalf("report = %+v, want the emptied table refreshed", rep)
+	}
+	fresh := m.Get(st.ID)
+	if fresh == st {
+		t.Fatal("statistic was not refreshed after mass delete")
+	}
+	if fresh.Data.Rows != 0 || fresh.Data.Leading.TotalRows() != 0 {
+		t.Errorf("refreshed stat reports %d rows (histogram %d), want 0",
+			fresh.Data.Rows, fresh.Data.Leading.TotalRows())
+	}
+	// The counter was reset: an immediately repeated pass is a no-op.
+	rep2, err := m.RunMaintenance(MaintenancePolicy{UpdateFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TablesRefreshed != 0 {
+		t.Errorf("second pass refreshed %d tables, want 0", rep2.TablesRefreshed)
+	}
+}

@@ -47,7 +47,14 @@ type Failpoint func(ctx context.Context, op string, id ID) error
 // Production code never installs one; the fault-injection oracle uses it
 // to prove refresh failures cannot poison optimizer state.
 func (m *Manager) SetFailpoint(fp Failpoint) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	m.failpoint = fp
+}
+
+// failpointFn returns the installed failpoint, or nil.
+func (m *Manager) failpointFn() Failpoint {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	return m.failpoint
 }

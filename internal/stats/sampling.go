@@ -37,8 +37,8 @@ func (m *Manager) SetSampling(cfg SampleConfig) error {
 	if cfg.MinRows <= 0 {
 		cfg.MinRows = 100
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	m.sampling = cfg
 	return nil
 }
@@ -46,17 +46,17 @@ func (m *Manager) SetSampling(cfg SampleConfig) error {
 // Sampling returns the active sampling configuration (Fraction 0 when
 // disabled).
 func (m *Manager) Sampling() SampleConfig {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
 	return m.sampling
 }
 
 // sampleTuples draws the per-statistic sample. The RNG seed mixes the
 // manager seed with the statistic ID so every statistic has an independent
 // sample (§2's correlation concern) that is stable across refreshes of the
-// same statistic.
-func (m *Manager) sampleTuples(id ID, tuples [][]catalog.Datum) [][]catalog.Datum {
-	cfg := m.sampling
+// same statistic — and, because the sample is drawn over the full gathered
+// row set before any partitioning, identical at any build parallelism.
+func sampleTuples(cfg SampleConfig, id ID, tuples [][]catalog.Datum) [][]catalog.Datum {
 	if cfg.Fraction <= 0 || cfg.Fraction >= 1 {
 		return tuples
 	}

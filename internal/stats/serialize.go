@@ -103,8 +103,8 @@ func (m *Manager) Load(r io.Reader) error {
 	if snap.Version != 1 {
 		return fmt.Errorf("stats: unsupported snapshot version %d", snap.Version)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Validate and construct outside the locks; nothing is published when
+	// the snapshot is malformed.
 	loaded := make(map[ID]*Statistic, len(snap.Statistics))
 	for _, sj := range snap.Statistics {
 		if len(sj.Columns) == 0 {
@@ -125,7 +125,6 @@ func (m *Manager) Load(r io.Reader) error {
 			})
 		}
 		id := MakeID(sj.Table, sj.Columns)
-		m.clock++
 		loaded[id] = &Statistic{
 			ID:      id,
 			Table:   sj.Table,
@@ -138,13 +137,24 @@ func (m *Manager) Load(r io.Reader) error {
 				Rows:           sj.Rows,
 			},
 			BuildCost:   sj.BuildCost,
-			CreatedAt:   m.clock,
-			UpdatedAt:   m.clock,
 			UpdateCount: sj.UpdateCount,
 			InDropList:  sj.InDropList,
 		}
 	}
-	m.stats = loaded
-	m.bumpEpochLocked()
+	met := m.metrics()
+	m.lockAll()
+	defer m.unlockAll()
+	var old int64
+	for i := range m.shards {
+		old += int64(len(m.shards[i].stats))
+		m.shards[i].stats = make(map[ID]*Statistic)
+	}
+	for id, s := range loaded {
+		now := m.clock.Add(1)
+		s.CreatedAt, s.UpdatedAt = now, now
+		m.shardFor(id.Table()).stats[id] = s
+	}
+	met.statCount.Add(int64(len(loaded)) - old)
+	m.bumpEpoch(met)
 	return nil
 }

@@ -3,15 +3,24 @@
 // the drop-list of §5, the aging mechanism of §6, and the SQL Server 7.0
 // auto-update/auto-drop maintenance policy the paper extends.
 //
-// Concurrency model: a Manager is safe for concurrent use. All mutating
-// entry points take a write lock, all readers take a read lock, and every
-// observable mutation (Create/Drop/Refresh/drop-list changes/Load) bumps a
-// monotonically increasing epoch that callers — notably the optimizer's plan
-// cache — use to detect staleness. *Statistic values handed out by the
-// manager are treated as immutable snapshots: Refresh replaces the map entry
-// with a fresh Statistic instead of mutating the published one in place, so
-// a reader that obtained a pointer before the refresh keeps a consistent
-// (if stale) view without data races.
+// Concurrency model: a Manager is safe for concurrent use. The catalog is
+// sharded by table — a statistic lives in the shard its table name hashes
+// to — so refreshes and creates on different tables never contend on one
+// mutex. Every observable mutation (Create/Drop/Refresh/drop-list
+// changes/Load) bumps a global, monotonically increasing epoch that
+// callers — notably the optimizer's plan cache — use to detect staleness.
+// The epoch is advanced inside the owning shard's critical section, before
+// the shard lock is released, so a reader that observes the mutated catalog
+// state also observes the new epoch. *Statistic values handed out by the
+// manager are treated as immutable snapshots: Refresh replaces the map
+// entry with a fresh Statistic instead of mutating the published one in
+// place, so a reader that obtained a pointer before the refresh keeps a
+// consistent (if stale) view without data races.
+//
+// Lock ordering: shard mutexes are acquired before cfgMu (configuration)
+// and accMu (accounting); when several shards are locked together (Load,
+// DropAll) they are taken in index order. cfgMu is never held while
+// acquiring a shard lock.
 package stats
 
 import (
@@ -20,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autostats/internal/histogram"
@@ -60,9 +70,10 @@ type Statistic struct {
 	Data *histogram.MultiColumn
 
 	// BuildCost is the work-unit cost charged when the statistic was built
-	// (refreshes charge the same units to the update-side accounting).
+	// (full-rebuild refreshes charge the same units to the update-side
+	// accounting; fold refreshes charge histogram.FoldCostUnits instead).
 	BuildCost float64
-	// BuildTime is the wall-clock time of the most recent (re)build.
+	// BuildTime is the wall-clock time of the most recent (re)build or fold.
 	BuildTime time.Duration
 	// CreatedAt / UpdatedAt are logical-clock stamps.
 	CreatedAt int64
@@ -74,6 +85,14 @@ type Statistic struct {
 	// Drop-listed statistics remain usable by the optimizer until
 	// physically dropped but incur no maintenance cost.
 	InDropList bool
+
+	// DeltaSeq is the table delta-log watermark Data reflects: the folding
+	// refresh path replays exactly the modifications logged after it.
+	DeltaSeq int64
+	// FoldedRows counts row deltas folded incrementally into Data since the
+	// last full build — the bounded "fold error" that triggers a rebuild
+	// once it crosses FoldConfig.MaxFoldFraction of the table.
+	FoldedRows int64
 }
 
 // IsSingleColumn reports whether the statistic covers exactly one column.
@@ -82,22 +101,36 @@ func (s *Statistic) IsSingleColumn() bool { return len(s.Columns) == 1 }
 // LeadingColumn returns the first (histogram-bearing) column.
 func (s *Statistic) LeadingColumn() string { return s.Columns[0] }
 
-// Manager owns all statistics of one database. It is safe for concurrent
-// use; see the package comment for the locking and epoch discipline.
-type Manager struct {
-	db         *storage.Database
-	kind       histogram.Kind
-	maxBuckets int
+// numShards is the catalog shard count. Statistics are distributed by a
+// hash of their table name, so all statistics of one table share a shard
+// (RefreshTable stays a single-shard critical section) while different
+// tables almost always land on different mutexes.
+const numShards = 16
 
+// shard is one slice of the statistics catalog with its own lock.
+type shard struct {
 	mu    sync.RWMutex
 	stats map[ID]*Statistic
 	// droppedAt records logical drop times of physically dropped statistics,
 	// feeding the aging policy (§6).
 	droppedAt map[ID]int64
-	clock     int64
-	// epoch increases on every observable statistics mutation; equal epochs
-	// imply an identical visible statistics set.
-	epoch uint64
+}
+
+// Manager owns all statistics of one database. It is safe for concurrent
+// use; see the package comment for the sharding, locking and epoch
+// discipline.
+type Manager struct {
+	db         *storage.Database
+	kind       histogram.Kind
+	maxBuckets int
+
+	shards [numShards]shard
+
+	// clock is the logical clock; epoch increases on every observable
+	// statistics mutation — equal epochs imply an identical visible
+	// statistics set.
+	clock atomic.Int64
+	epoch atomic.Uint64
 
 	// AgingWindow is the number of logical ticks during which a recently
 	// dropped statistic is considered "aged" and should not be re-created
@@ -105,28 +138,38 @@ type Manager struct {
 	// manager across goroutines.
 	AgingWindow int64
 
+	// cfgMu guards the reconfigurable collaborators below. It is never held
+	// while acquiring a shard lock.
+	cfgMu sync.RWMutex
 	// sampling configures sampled statistics construction (see SetSampling).
 	sampling SampleConfig
-
 	// feedback, when non-nil, supplies execution-feedback q-error summaries
 	// to RunMaintenance (see SetFeedbackProvider).
 	feedback FeedbackProvider
-
 	// failpoint, when non-nil, can veto mutating operations (see
-	// SetFailpoint). Guarded by mu like the state it protects.
+	// SetFailpoint).
 	failpoint Failpoint
+	// parallelism is the partition count for histogram builds (see
+	// SetBuildParallelism); <= 1 builds single-pass.
+	parallelism int
+	// fold configures incremental (folding) maintenance (see
+	// SetIncrementalMaintenance).
+	fold FoldConfig
+	// met caches the manager's observability handles; see managerMetrics.
+	met managerMetrics
 
+	// accMu guards the cumulative accounting fields below. It is the
+	// innermost lock: taken only with no other manager lock needed, or
+	// inside a shard critical section.
+	accMu sync.Mutex
 	// Cumulative accounting, reported by the experiment harness. Mutated
-	// only under mu; read them after concurrent phases have joined, or via
-	// Accounting for a consistent snapshot.
+	// only under accMu; read them after concurrent phases have joined, or
+	// via Accounting for a consistent snapshot.
 	TotalBuildCost  float64
 	TotalBuildTime  time.Duration
 	TotalUpdateCost float64
 	BuildCount      int
 	UpdateOpCount   int
-
-	// met caches the manager's observability handles; see managerMetrics.
-	met managerMetrics
 }
 
 // managerMetrics caches the manager's metric handles so hot paths hit the
@@ -146,167 +189,190 @@ type managerMetrics struct {
 	updateUnits   *obs.FloatCounter
 	statCount     *obs.Gauge
 	epoch         *obs.Gauge
+	shardCount    *obs.Gauge
 	buildLatency  *obs.Timing
+
+	// Build-path instrumentation: fullScans counts statistic (re)builds
+	// that scanned the table (the fold path's absence is the evidence that
+	// incremental maintenance worked); parallelBuilds/partialsMerged count
+	// partition-parallel builds and the partials they merged.
+	fullScans      *obs.Counter
+	parallelBuilds *obs.Counter
+	partialsMerged *obs.Counter
+	// Fold-path instrumentation: folds counts refreshes served by folding
+	// row deltas, foldRebuilds counts fold attempts that fell back to a
+	// full rebuild, foldedRows counts the deltas folded.
+	folds        *obs.Counter
+	foldRebuilds *obs.Counter
+	foldedRows   *obs.Counter
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
 	return managerMetrics{
-		reg:           reg,
-		builds:        reg.Counter("stats.builds"),
-		resurrections: reg.Counter("stats.resurrections"),
-		drops:         reg.Counter("stats.drops"),
-		refreshes:     reg.Counter("stats.refreshes"),
-		droplistAdds:  reg.Counter("stats.droplist.adds"),
-		droplistRems:  reg.Counter("stats.droplist.removes"),
-		buildUnits:    reg.FloatCounter("stats.build.cost_units"),
-		updateUnits:   reg.FloatCounter("stats.update.cost_units"),
-		statCount:     reg.Gauge("stats.count"),
-		epoch:         reg.Gauge("stats.epoch"),
-		buildLatency:  reg.Timing("stats.build.latency"),
+		reg:            reg,
+		builds:         reg.Counter("stats.builds"),
+		resurrections:  reg.Counter("stats.resurrections"),
+		drops:          reg.Counter("stats.drops"),
+		refreshes:      reg.Counter("stats.refreshes"),
+		droplistAdds:   reg.Counter("stats.droplist.adds"),
+		droplistRems:   reg.Counter("stats.droplist.removes"),
+		buildUnits:     reg.FloatCounter("stats.build.cost_units"),
+		updateUnits:    reg.FloatCounter("stats.update.cost_units"),
+		statCount:      reg.Gauge("stats.count"),
+		epoch:          reg.Gauge("stats.epoch"),
+		shardCount:     reg.Gauge("stats.shards"),
+		buildLatency:   reg.Timing("stats.build.latency"),
+		fullScans:      reg.Counter("stats.build.full_scans"),
+		parallelBuilds: reg.Counter("stats.build.parallel_builds"),
+		partialsMerged: reg.Counter("stats.build.partials_merged"),
+		folds:          reg.Counter("stats.fold.applied"),
+		foldRebuilds:   reg.Counter("stats.fold.rebuilds"),
+		foldedRows:     reg.Counter("stats.fold.rows"),
 	}
 }
 
 // NewManager creates a statistics manager over db using the given histogram
 // kind and bucket budget (<=0 means histogram.DefaultBuckets).
 func NewManager(db *storage.Database, kind histogram.Kind, maxBuckets int) *Manager {
-	return &Manager{
+	m := &Manager{
 		db:         db,
 		kind:       kind,
 		maxBuckets: maxBuckets,
-		stats:      make(map[ID]*Statistic),
-		droppedAt:  make(map[ID]int64),
 		met:        newManagerMetrics(obs.Default),
 	}
+	for i := range m.shards {
+		m.shards[i].stats = make(map[ID]*Statistic)
+		m.shards[i].droppedAt = make(map[ID]int64)
+	}
+	m.met.shardCount.Set(numShards)
+	return m
 }
 
 // Database returns the managed database.
 func (m *Manager) Database() *storage.Database { return m.db }
 
+// shardFor returns the shard owning statistics of the (lower-case) table.
+func (m *Manager) shardFor(table string) *shard {
+	// FNV-1a over the table name.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(table); i++ {
+		h ^= uint64(table[i])
+		h *= 1099511628211
+	}
+	return &m.shards[h%numShards]
+}
+
+// metrics returns the current observability handles. Hot paths snapshot
+// them once per operation instead of re-reading cfgMu per counter.
+func (m *Manager) metrics() managerMetrics {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	return m.met
+}
+
 // SetObsRegistry redirects the manager's metrics to reg (obs.Default at
 // construction). Call it before sharing the manager across goroutines.
 func (m *Manager) SetObsRegistry(reg *obs.Registry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.met = newManagerMetrics(reg)
+	n := int64(len(m.All()))
+	met := newManagerMetrics(reg)
+	met.statCount.Set(n)
+	met.epoch.Set(int64(m.epoch.Load()))
+	met.shardCount.Set(numShards)
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	m.met = met
 }
 
 // ObsRegistry returns the registry the manager's metrics go to.
 func (m *Manager) ObsRegistry() *obs.Registry {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
 	return m.met.reg
 }
 
-// bumpEpochLocked advances the statistics epoch and publishes it, along with
-// the visible statistic count, to the metrics registry. Callers must hold mu.
-func (m *Manager) bumpEpochLocked() {
-	m.epoch++
-	m.met.epoch.Set(int64(m.epoch))
-	m.met.statCount.Set(int64(len(m.stats)))
+// bumpEpoch advances the statistics epoch. Callers must hold the mutated
+// shard's write lock (or all shard locks) so the new epoch is published
+// before the mutation becomes visible to other goroutines. The epoch and
+// stat-count gauges are maintained with deltas — gauge Set from concurrent
+// shards could publish a stale absolute value.
+func (m *Manager) bumpEpoch(met managerMetrics) {
+	m.epoch.Add(1)
+	met.epoch.Add(1)
 }
 
 // Epoch returns the statistics epoch: a counter bumped by every observable
 // mutation (Create, Drop, Refresh, drop-list changes, Load, DropAll). Two
 // optimizations at the same epoch see the same statistics.
-func (m *Manager) Epoch() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.epoch
-}
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
 
 // Tick advances the logical clock (called once per processed statement by
 // policy drivers) and returns the new time.
-func (m *Manager) Tick() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.clock++
-	return m.clock
-}
+func (m *Manager) Tick() int64 { return m.clock.Add(1) }
 
 // Clock returns the current logical time.
-func (m *Manager) Clock() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.clock
-}
+func (m *Manager) Clock() int64 { return m.clock.Load() }
 
 // Get returns the statistic with the given ID, or nil.
 func (m *Manager) Get(id ID) *Statistic {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats[id]
+	sh := m.shardFor(id.Table())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.stats[id]
 }
 
 // Has reports whether the statistic exists (whether or not drop-listed).
-func (m *Manager) Has(id ID) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats[id] != nil
-}
+func (m *Manager) Has(id ID) bool { return m.Get(id) != nil }
 
 // IsDropListed reports whether the statistic exists and is drop-listed.
 func (m *Manager) IsDropListed(id ID) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s := m.stats[id]
+	sh := m.shardFor(id.Table())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.stats[id]
 	return s != nil && s.InDropList
 }
 
-// allLocked returns all statistics in deterministic ID order. Callers must
-// hold mu (read or write).
-func (m *Manager) allLocked() []*Statistic {
-	out := make([]*Statistic, 0, len(m.stats))
-	for _, s := range m.stats {
-		out = append(out, s)
+// collect gathers the statistics matching filter (nil means all) across
+// every shard, in deterministic ID order. Shards are visited one at a time;
+// the result is a consistent per-shard snapshot, which is all the previous
+// single-mutex implementation guaranteed to concurrent readers as well.
+func (m *Manager) collect(filter func(*Statistic) bool) []*Statistic {
+	var out []*Statistic
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.stats {
+			if filter == nil || filter(s) {
+				out = append(out, s)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // All returns all existing statistics in deterministic ID order.
-func (m *Manager) All() []*Statistic {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.allLocked()
-}
+func (m *Manager) All() []*Statistic { return m.collect(nil) }
 
 // Maintained returns the statistics not in the drop-list — the set whose
 // update cost the system pays (§5, Table 1 metric).
 func (m *Manager) Maintained() []*Statistic {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var out []*Statistic
-	for _, s := range m.allLocked() {
-		if !s.InDropList {
-			out = append(out, s)
-		}
-	}
-	return out
+	return m.collect(func(s *Statistic) bool { return !s.InDropList })
 }
 
 // DropList returns the drop-listed statistics in deterministic order.
 func (m *Manager) DropList() []*Statistic {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var out []*Statistic
-	for _, s := range m.allLocked() {
-		if s.InDropList {
-			out = append(out, s)
-		}
-	}
-	return out
+	return m.collect(func(s *Statistic) bool { return s.InDropList })
 }
 
 // DropListIDs returns the drop-listed statistic IDs in ID order — a cheap
 // snapshot for workload drivers that report drop-list deltas.
 func (m *Manager) DropListIDs() []ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var out []ID
-	for _, s := range m.allLocked() {
-		if s.InDropList {
-			out = append(out, s.ID)
-		}
+	dropped := m.DropList()
+	out := make([]ID, len(dropped))
+	for i, s := range dropped {
+		out[i] = s.ID
 	}
 	return out
 }
@@ -339,88 +405,42 @@ func (m *Manager) Ensure(table string, cols []string) (*Statistic, bool, error) 
 // physical building is cancellable work.
 func (m *Manager) EnsureCtx(ctx context.Context, table string, cols []string) (*Statistic, bool, error) {
 	id := MakeID(table, cols)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if s := m.stats[id]; s != nil {
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s := sh.stats[id]; s != nil {
 		if s.InDropList {
 			s.InDropList = false
-			m.met.resurrections.Inc()
-			m.met.droplistRems.Inc()
-			m.bumpEpochLocked()
+			met.resurrections.Inc()
+			met.droplistRems.Inc()
+			m.bumpEpoch(met)
 		}
 		return s, false, nil
 	}
-	if m.failpoint != nil {
-		if err := m.failpoint(ctx, "create", id); err != nil {
+	if fp := m.failpointFn(); fp != nil {
+		if err := fp(ctx, "create", id); err != nil {
 			return nil, false, fmt.Errorf("stats: create %s vetoed: %w", id, err)
 		}
 	}
-	s, err := m.buildLocked(ctx, table, cols)
+	s, err := m.build(ctx, table, cols, met)
 	if err != nil {
 		return nil, false, err
 	}
-	// Creation accounting is charged here, NOT in buildLocked: refreshes
-	// reuse the build path but must charge only the update-side counters.
+	// Creation accounting is charged here, NOT in build: refreshes reuse
+	// the build path but must charge only the update-side counters.
+	m.accMu.Lock()
 	m.TotalBuildCost += s.BuildCost
 	m.TotalBuildTime += s.BuildTime
 	m.BuildCount++
-	m.met.builds.Inc()
-	m.met.buildUnits.Add(s.BuildCost)
-	m.met.buildLatency.Observe(s.BuildTime)
-	m.stats[id] = s
-	m.bumpEpochLocked()
+	m.accMu.Unlock()
+	met.builds.Inc()
+	met.buildUnits.Add(s.BuildCost)
+	met.buildLatency.Observe(s.BuildTime)
+	sh.stats[id] = s
+	met.statCount.Add(1)
+	m.bumpEpoch(met)
 	return s, true, nil
-}
-
-// buildLocked constructs a fresh Statistic from current data. It bumps the
-// logical clock but charges no accounting; Create and refreshLocked charge
-// the build- and update-side counters respectively. Cancellation is checked
-// between the build steps (value extraction, sampling, histogram
-// construction), so a deadline aborts the build at the next step boundary
-// with no state published. Callers must hold mu.
-func (m *Manager) buildLocked(ctx context.Context, table string, cols []string) (*Statistic, error) {
-	id := MakeID(table, cols)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	td, err := m.db.Table(table)
-	if err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	tuples, err := td.MultiColumnValues(cols)
-	if err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	start := time.Now()
-	sampled := m.sampleTuples(id, tuples)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	mc, err := histogram.BuildMulti(m.kind, cols, sampled, m.maxBuckets)
-	if err != nil {
-		return nil, fmt.Errorf("stats: building %s: %w", id, err)
-	}
-	if len(sampled) < len(tuples) {
-		scaleSampled(mc, len(sampled), len(tuples))
-	}
-	elapsed := time.Since(start)
-	// Creation cost reflects the rows actually processed — sampling is
-	// exactly how real systems cheapen construction.
-	cost := histogram.BuildCostUnits(int64(len(sampled)), len(cols))
-	m.clock++
-	return &Statistic{
-		ID:        id,
-		Table:     strings.ToLower(table),
-		Columns:   lowerAll(cols),
-		Data:      mc,
-		BuildCost: cost,
-		BuildTime: elapsed,
-		CreatedAt: m.clock,
-		UpdatedAt: m.clock,
-	}, nil
 }
 
 func lowerAll(cols []string) []string {
@@ -433,51 +453,58 @@ func lowerAll(cols []string) []string {
 
 // Drop physically removes a statistic and records the drop time for aging.
 func (m *Manager) Drop(id ID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dropLocked(id)
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.dropShardLocked(sh, id, met)
 }
 
-func (m *Manager) dropLocked(id ID) bool {
-	if _, ok := m.stats[id]; !ok {
+// dropShardLocked removes id from sh; the caller holds sh.mu.
+func (m *Manager) dropShardLocked(sh *shard, id ID, met managerMetrics) bool {
+	if _, ok := sh.stats[id]; !ok {
 		return false
 	}
-	delete(m.stats, id)
-	m.clock++
-	m.droppedAt[id] = m.clock
-	m.met.drops.Inc()
-	m.bumpEpochLocked()
+	delete(sh.stats, id)
+	sh.droppedAt[id] = m.clock.Add(1)
+	met.drops.Inc()
+	met.statCount.Add(-1)
+	m.bumpEpoch(met)
 	return true
 }
 
 // AddToDropList marks a statistic non-essential. Returns false if unknown.
 func (m *Manager) AddToDropList(id ID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.stats[id]
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.stats[id]
 	if s == nil {
 		return false
 	}
 	if !s.InDropList {
 		s.InDropList = true
-		m.met.droplistAdds.Inc()
-		m.bumpEpochLocked()
+		met.droplistAdds.Inc()
+		m.bumpEpoch(met)
 	}
 	return true
 }
 
 // RemoveFromDropList resurrects a drop-listed statistic.
 func (m *Manager) RemoveFromDropList(id ID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.stats[id]
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.stats[id]
 	if s == nil {
 		return false
 	}
 	if s.InDropList {
 		s.InDropList = false
-		m.met.droplistRems.Inc()
-		m.bumpEpochLocked()
+		met.droplistRems.Inc()
+		m.bumpEpoch(met)
 	}
 	return true
 }
@@ -485,13 +512,24 @@ func (m *Manager) RemoveFromDropList(id ID) bool {
 // PurgeDropList physically drops every drop-listed statistic and returns
 // how many were dropped (a policy action, §6).
 func (m *Manager) PurgeDropList() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	met := m.metrics()
 	n := 0
-	for _, s := range m.allLocked() {
-		if s.InDropList && m.dropLocked(s.ID) {
-			n++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		var ids []ID
+		for id, s := range sh.stats {
+			if s.InDropList {
+				ids = append(ids, id)
+			}
 		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			if m.dropShardLocked(sh, id, met) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -500,20 +538,23 @@ func (m *Manager) PurgeDropList() int {
 // within the aging window, in which case re-creation should be dampened for
 // inexpensive queries (§6).
 func (m *Manager) RecentlyDropped(id ID) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	if m.AgingWindow <= 0 {
 		return false
 	}
-	at, ok := m.droppedAt[id]
-	return ok && m.clock-at < m.AgingWindow
+	sh := m.shardFor(id.Table())
+	sh.mu.RLock()
+	at, ok := sh.droppedAt[id]
+	sh.mu.RUnlock()
+	return ok && m.clock.Load()-at < m.AgingWindow
 }
 
 // Refresh rebuilds an existing statistic from current data, charging its
 // update cost (and only its update cost — creation accounting is untouched).
 // Drop-listed statistics are skipped (they are not maintained). The map
 // entry is replaced with a fresh Statistic; previously handed-out pointers
-// keep their pre-refresh snapshot.
+// keep their pre-refresh snapshot. When incremental maintenance is enabled
+// and the table's logged row deltas are small enough, the refresh folds the
+// deltas into the existing histogram instead of rescanning the table.
 func (m *Manager) Refresh(id ID) error {
 	return m.RefreshCtx(context.Background(), id)
 }
@@ -521,45 +562,45 @@ func (m *Manager) Refresh(id ID) error {
 // RefreshCtx is Refresh honoring cancellation and deadlines; see EnsureCtx
 // for the abandonment guarantees.
 func (m *Manager) RefreshCtx(ctx context.Context, id ID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, err := m.refreshLocked(ctx, id)
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, err := m.refreshShardLocked(ctx, sh, id, met)
 	return err
 }
 
-// refreshLocked rebuilds one statistic and returns the update cost this call
-// charged (0 when the statistic is drop-listed and skipped). Callers must
-// hold mu. Returning the cost lets maintenance passes attribute exactly their
-// own work instead of diffing the global counters, which would fold in
-// concurrent refreshes.
-func (m *Manager) refreshLocked(ctx context.Context, id ID) (float64, error) {
-	s := m.stats[id]
+// refreshShardLocked refreshes one statistic and returns the update cost
+// this call charged (0 when the statistic is drop-listed and skipped).
+// Callers must hold sh.mu. Returning the cost lets maintenance passes
+// attribute exactly their own work instead of diffing the global counters,
+// which would fold in concurrent refreshes.
+func (m *Manager) refreshShardLocked(ctx context.Context, sh *shard, id ID, met managerMetrics) (float64, error) {
+	s := sh.stats[id]
 	if s == nil {
 		return 0, fmt.Errorf("stats: unknown statistic %s", id)
 	}
 	if s.InDropList {
 		return 0, nil
 	}
-	if m.failpoint != nil {
-		if err := m.failpoint(ctx, "refresh", id); err != nil {
+	if fp := m.failpointFn(); fp != nil {
+		if err := fp(ctx, "refresh", id); err != nil {
 			return 0, fmt.Errorf("stats: refresh %s vetoed: %w", id, err)
 		}
 	}
-	fresh, err := m.buildLocked(ctx, s.Table, s.Columns)
+	fresh, cost, err := m.rebuildOrFold(ctx, s, met)
 	if err != nil {
 		return 0, fmt.Errorf("stats: refresh %s: %w", id, err)
 	}
-	fresh.CreatedAt = s.CreatedAt
-	fresh.UpdatedAt = m.clock
-	fresh.UpdateCount = s.UpdateCount + 1
-	fresh.InDropList = s.InDropList
-	m.stats[id] = fresh
-	m.TotalUpdateCost += fresh.BuildCost
+	sh.stats[id] = fresh
+	m.accMu.Lock()
+	m.TotalUpdateCost += cost
 	m.UpdateOpCount++
-	m.met.refreshes.Inc()
-	m.met.updateUnits.Add(fresh.BuildCost)
-	m.bumpEpochLocked()
-	return fresh.BuildCost, nil
+	m.accMu.Unlock()
+	met.refreshes.Inc()
+	met.updateUnits.Add(cost)
+	m.bumpEpoch(met)
+	return cost, nil
 }
 
 // refreshStatCost refreshes a single statistic and returns the update cost
@@ -567,9 +608,11 @@ func (m *Manager) refreshLocked(ctx context.Context, id ID) (float64, error) {
 // the feedback-triggered maintenance path. The table's modification counter
 // is left untouched: other statistics on the table remain governed by it.
 func (m *Manager) refreshStatCost(ctx context.Context, id ID) (float64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.refreshLocked(ctx, id)
+	met := m.metrics()
+	sh := m.shardFor(id.Table())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.refreshShardLocked(ctx, sh, id, met)
 }
 
 // RefreshTable refreshes every maintained statistic on the table and resets
@@ -581,19 +624,26 @@ func (m *Manager) RefreshTable(table string) (int, error) {
 
 // refreshTableCost is RefreshTable plus the update cost charged by this call
 // alone, so a maintenance pass can report its own cost even while other
-// goroutines refresh concurrently. Cancellation is checked between the
-// per-statistic rebuilds.
+// goroutines refresh concurrently. All statistics of one table live in one
+// shard, so the whole pass is a single-shard critical section. Cancellation
+// is checked between the per-statistic rebuilds.
 func (m *Manager) refreshTableCost(ctx context.Context, table string) (int, float64, error) {
 	table = strings.ToLower(table)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	met := m.metrics()
+	sh := m.shardFor(table)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var ids []ID
+	for id, s := range sh.stats {
+		if s.Table == table && !s.InDropList {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	n := 0
 	var cost float64
-	for _, s := range m.allLocked() {
-		if s.Table != table || s.InDropList {
-			continue
-		}
-		c, err := m.refreshLocked(ctx, s.ID)
+	for _, id := range ids {
+		c, err := m.refreshShardLocked(ctx, sh, id, met)
 		if err != nil {
 			return n, cost, err
 		}
@@ -610,13 +660,8 @@ func (m *Manager) refreshTableCost(ctx context.Context, table string) (int, floa
 // maintained statistics would charge — the "cost of updating the set of
 // statistics left behind" metric of Table 1.
 func (m *Manager) MaintenanceCostUnits() float64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	var c float64
-	for _, s := range m.allLocked() {
-		if s.InDropList {
-			continue
-		}
+	for _, s := range m.Maintained() {
 		td, err := m.db.Table(s.Table)
 		if err != nil {
 			continue
@@ -629,14 +674,16 @@ func (m *Manager) MaintenanceCostUnits() float64 {
 // StatsOnTable returns all existing statistics on a table.
 func (m *Manager) StatsOnTable(table string) []*Statistic {
 	table = strings.ToLower(table)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	sh := m.shardFor(table)
+	sh.mu.RLock()
 	var out []*Statistic
-	for _, s := range m.allLocked() {
+	for _, s := range sh.stats {
 		if s.Table == table {
 			out = append(out, s)
 		}
 	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -646,14 +693,15 @@ func (m *Manager) StatsOnTable(table string) []*Statistic {
 // the most precise structure.
 func (m *Manager) StatsForColumn(table, column string) []*Statistic {
 	table, column = strings.ToLower(table), strings.ToLower(column)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	sh := m.shardFor(table)
+	sh.mu.RLock()
 	var out []*Statistic
-	for _, s := range m.allLocked() {
+	for _, s := range sh.stats {
 		if s.Table == table && s.LeadingColumn() == column {
 			out = append(out, s)
 		}
 	}
+	sh.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Columns) != len(out[j].Columns) {
 			return len(out[i].Columns) < len(out[j].Columns)
@@ -672,11 +720,11 @@ type Accounting struct {
 	UpdateOpCount   int
 }
 
-// Snapshot returns the accounting counters under the manager lock, safe to
-// call while other goroutines mutate statistics.
+// Snapshot returns the accounting counters under the accounting lock, safe
+// to call while other goroutines mutate statistics.
 func (m *Manager) Snapshot() Accounting {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
 	return Accounting{
 		TotalBuildCost:  m.TotalBuildCost,
 		TotalBuildTime:  m.TotalBuildTime,
@@ -689,8 +737,8 @@ func (m *Manager) Snapshot() Accounting {
 // ResetAccounting zeroes the cumulative cost counters (between experiment
 // phases).
 func (m *Manager) ResetAccounting() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
 	m.TotalBuildCost = 0
 	m.TotalBuildTime = 0
 	m.TotalUpdateCost = 0
@@ -698,12 +746,33 @@ func (m *Manager) ResetAccounting() {
 	m.UpdateOpCount = 0
 }
 
+// lockAll write-locks every shard in index order; unlockAll releases them
+// in reverse. Used by the wholesale operations (Load, DropAll) that must
+// mutate the catalog atomically with respect to readers.
+func (m *Manager) lockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
 // DropAll removes every statistic without recording aging drops (used to
 // reset experiments).
 func (m *Manager) DropAll() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = make(map[ID]*Statistic)
-	m.droppedAt = make(map[ID]int64)
-	m.bumpEpochLocked()
+	met := m.metrics()
+	m.lockAll()
+	defer m.unlockAll()
+	var old int64
+	for i := range m.shards {
+		old += int64(len(m.shards[i].stats))
+		m.shards[i].stats = make(map[ID]*Statistic)
+		m.shards[i].droppedAt = make(map[ID]int64)
+	}
+	met.statCount.Add(-old)
+	m.bumpEpoch(met)
 }
