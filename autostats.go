@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"autostats/internal/catalog"
 	"autostats/internal/core"
@@ -47,11 +48,25 @@ import (
 )
 
 // System is a database with its statistics manager, optimizer and executor —
-// the unit everything else operates on. Its methods are not safe for
-// concurrent use from multiple goroutines; parallelism happens INSIDE
-// TuneWorkload (TuneOptions.Parallelism), which fans out to per-worker
-// optimizer sessions over the concurrency-safe statistics manager and shared
-// plan cache.
+// the unit everything else operates on, and the unit the stats-as-a-service
+// server (internal/server) isolates per tenant.
+//
+// Concurrency model (the server's default usage pattern):
+//
+//   - Exec, Explain, Statistics, PlanCacheStats, BreakerStates and the
+//     feedback inspectors may be called from any number of goroutines at
+//     once. Exec and Explain borrow a per-call optimizer session clone from
+//     an internal pool over the concurrency-safe statistics manager, shared
+//     plan cache and internally locked storage layer.
+//   - TuneQuery, TuneWorkload, ProcessStatement and RunMaintenance are
+//     serialized on an internal mutex (they mutate the shared tuning session
+//     and policy state); concurrent callers queue. TuneWorkload still fans
+//     out INSIDE the run via TuneOptions.Parallelism.
+//   - Configuration methods (SetPlanCacheCapacity, EnableFeedback,
+//     EnableResilience, SetAgingWindow, SetBuildParallelism,
+//     EnableIncrementalMaintenance, …) follow the usual configure-then-serve
+//     server pattern: call them before the System is shared across
+//     goroutines, not while requests are in flight.
 type System struct {
 	db    *storage.Database
 	mgr   *stats.Manager
@@ -64,6 +79,12 @@ type System struct {
 	// guard is the resilience stack installed by EnableResilience (nil when
 	// disabled); see resilience.go.
 	guard *resilience.Guard
+
+	// mu serializes the mutating entry points: tuning, the on-the-fly
+	// policy, and maintenance. The read-mostly statement path (Exec,
+	// Explain) does not take it — it borrows session clones from sessions.
+	mu       sync.Mutex
+	sessions *sessionPool
 }
 
 // DefaultPlanCacheCapacity is the plan cache size a new System starts with.
@@ -116,17 +137,22 @@ func newSystem(db *storage.Database, kind histogram.Kind, buckets int) *System {
 	ex := executor.New(db)
 	return &System{
 		db: db, mgr: mgr, sess: sess, ex: ex,
-		auto:  core.NewAutoManager(sess, ex),
-		cache: cache,
-		maint: stats.DefaultMaintenancePolicy(),
+		auto:     core.NewAutoManager(sess, ex),
+		cache:    cache,
+		maint:    stats.DefaultMaintenancePolicy(),
+		sessions: newSessionPool(sess.Clone()),
 	}
 }
 
 // SetPlanCacheCapacity replaces the plan cache with one holding up to n
 // plans; n <= 0 disables plan caching. Existing cached plans are discarded.
+// Configuration method: do not call while statements are being served.
 func (s *System) SetPlanCacheCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.cache = optimizer.NewPlanCache(n)
 	s.sess.SetPlanCache(s.cache)
+	s.refreshSessions()
 }
 
 // PlanCacheStats reports plan cache effectiveness counters (all zero when
@@ -173,14 +199,19 @@ type QueryResult struct {
 	Degraded []string
 }
 
-// Exec parses, optimizes and executes one SQL statement.
+// Exec parses, optimizes and executes one SQL statement. Safe for concurrent
+// use: each call optimizes on a pooled session clone over the shared plan
+// cache and concurrency-safe statistics manager; DML serializes inside the
+// storage layer's per-table locks.
 func (s *System) Exec(sql string) (*QueryResult, error) {
 	stmt, err := sqlparser.Parse(s.db.Schema, sql)
 	if err != nil {
 		return nil, err
 	}
+	sess := s.sessions.get()
+	defer s.sessions.put(sess)
 	if q, ok := stmt.(*query.Select); ok {
-		plan, err := s.sess.Optimize(q)
+		plan, err := sess.Optimize(q)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +221,7 @@ func (s *System) Exec(sql string) (*QueryResult, error) {
 		}
 		return renderResult(res, plan), nil
 	}
-	res, err := s.ex.RunStatement(s.sess, stmt)
+	res, err := s.ex.RunStatement(sess, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -221,13 +252,16 @@ func renderResult(res *executor.Result, plan *optimizer.Plan) *QueryResult {
 	}
 }
 
-// Explain returns the chosen plan for a SELECT without executing it.
+// Explain returns the chosen plan for a SELECT without executing it. Safe
+// for concurrent use (see Exec).
 func (s *System) Explain(sql string) (string, error) {
 	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
 	if err != nil {
 		return "", err
 	}
-	plan, err := s.sess.Optimize(q)
+	sess := s.sessions.get()
+	defer s.sessions.put(sess)
+	plan, err := sess.Optimize(q)
 	if err != nil {
 		return "", err
 	}

@@ -1,4 +1,4 @@
-package autostats
+package autostats_test
 
 // Benchmark harness: one testing.B benchmark per table/figure of the paper's
 // §8 evaluation (plus the §1 motivating experiment and the DESIGN.md
@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"autostats"
 	"autostats/internal/bench"
 	"autostats/internal/core"
 )
@@ -159,7 +160,7 @@ func BenchmarkAblationNextStat(b *testing.B) {
 
 // BenchmarkOptimize measures raw optimization throughput on a 5-way join.
 func BenchmarkOptimize(b *testing.B) {
-	sys, err := GenerateTPCD(TPCDOptions{Scale: 0.5, Skew: 2})
+	sys, err := autostats.GenerateTPCD(autostats.TPCDOptions{Scale: 0.5, Skew: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -185,16 +186,16 @@ func BenchmarkWorkloadTuning(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				sys, err := GenerateTPCD(TPCDOptions{Scale: benchScale, Skew: 2})
+				sys, err := autostats.GenerateTPCD(autostats.TPCDOptions{Scale: benchScale, Skew: 2})
 				if err != nil {
 					b.Fatal(err)
 				}
-				sqls, err := sys.GenerateWorkload(WorkloadOptions{Count: 40})
+				sqls, err := sys.GenerateWorkload(autostats.WorkloadOptions{Count: 40})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				rep, err := sys.TuneWorkload(sqls, TuneOptions{Parallelism: p})
+				rep, err := sys.TuneWorkload(sqls, autostats.TuneOptions{Parallelism: p})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -208,8 +209,8 @@ func BenchmarkWorkloadTuning(b *testing.B) {
 // and without the plan cache; steady-state re-optimization of a repeating
 // workload should be dominated by cache hits.
 func BenchmarkOptimizeCached(b *testing.B) {
-	setup := func(b *testing.B, cacheCap int) (*System, []string) {
-		sys, err := GenerateTPCD(TPCDOptions{Scale: benchScale, Skew: 2})
+	setup := func(b *testing.B, cacheCap int) (*autostats.System, []string) {
+		sys, err := autostats.GenerateTPCD(autostats.TPCDOptions{Scale: benchScale, Skew: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func BenchmarkOptimizeCached(b *testing.B) {
 			b.Fatal(err)
 		}
 		sys.SetPlanCacheCapacity(cacheCap)
-		sqls, err := sys.GenerateWorkload(WorkloadOptions{Count: 30})
+		sqls, err := sys.GenerateWorkload(autostats.WorkloadOptions{Count: 30})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,13 +240,13 @@ func BenchmarkOptimizeCached(b *testing.B) {
 		}
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, 0) })
-	b.Run("cached", func(b *testing.B) { run(b, DefaultPlanCacheCapacity) })
+	b.Run("cached", func(b *testing.B) { run(b, autostats.DefaultPlanCacheCapacity) })
 }
 
 // BenchmarkStatisticsBuild measures histogram construction cost on the
 // largest table.
 func BenchmarkStatisticsBuild(b *testing.B) {
-	sys, err := GenerateTPCD(TPCDOptions{Scale: 1, Skew: 2})
+	sys, err := autostats.GenerateTPCD(autostats.TPCDOptions{Scale: 1, Skew: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,12 +265,12 @@ func BenchmarkStatisticsBuild(b *testing.B) {
 func BenchmarkMNSAQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		sys, err := GenerateTPCD(TPCDOptions{Scale: 0.5, Skew: 2})
+		sys, err := autostats.GenerateTPCD(autostats.TPCDOptions{Scale: 0.5, Skew: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := sys.TuneQuery("SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45 AND o_totalprice > 400000", TuneOptions{}); err != nil {
+		if _, err := sys.TuneQuery("SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45 AND o_totalprice > 400000", autostats.TuneOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

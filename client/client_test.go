@@ -1,0 +1,241 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autostats"
+	"autostats/client"
+	"autostats/internal/protocol"
+	"autostats/internal/server"
+)
+
+func tpcdFactory(string) (*autostats.System, error) {
+	return autostats.GenerateTPCD(autostats.TPCDOptions{Scale: 0.02, Skew: 1})
+}
+
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.NewTenant == nil {
+		cfg.NewTenant = tpcdFactory
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c, err := client.Dial(s.Addr().String(), client.Options{Tenant: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if h := c.Hello(); h.Version != protocol.Version || h.Tenant != "t1" {
+		t.Fatalf("hello %+v", h)
+	}
+
+	ctx := context.Background()
+	res, err := c.Exec(ctx, "SELECT * FROM orders WHERE o_orderkey > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	plan, err := c.Explain(ctx, "SELECT * FROM orders WHERE o_orderkey > 10")
+	if err != nil || plan == "" {
+		t.Fatalf("explain: %q, %v", plan, err)
+	}
+	if _, err := c.Tune(ctx,
+		[]string{"SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45"},
+		nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no statistics after tune")
+	}
+	if _, err := c.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil || !strings.Contains(metrics, "server.requests.admitted") {
+		t.Fatalf("metrics: %v\n%s", err, metrics)
+	}
+	// SQL errors carry the server's code, not a transport failure.
+	if _, err := c.Exec(ctx, "SELECT junk FROM nowhere"); err == nil ||
+		!strings.Contains(err.Error(), protocol.CodeSQL) {
+		t.Fatalf("bad sql error: %v", err)
+	}
+}
+
+func TestClientConcurrentPipelining(t *testing.T) {
+	s := startServer(t, server.Config{Workers: 4})
+	c, err := client.Dial(s.Addr().String(), client.Options{Tenant: "pipe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := c.Exec(ctx, "SELECT * FROM orders WHERE o_orderkey > 10"); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientOverloadedError(t *testing.T) {
+	// A factory that wedges until released turns the 1-worker, 1-slot server
+	// into a deterministic overload generator.
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s := startServer(t, server.Config{Workers: 1, QueueDepth: 1,
+		NewTenant: func(string) (*autostats.System, error) {
+			started <- struct{}{}
+			<-release
+			return nil, errors.New("wedged")
+		}})
+
+	c, err := client.Dial(s.Addr().String(), client.Options{Tenant: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make(chan error, 64)
+	wg.Add(1)
+	go func() { defer wg.Done(); results <- statErr(ctx, c) }()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never wedged")
+	}
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); results <- statErr(ctx, c) }()
+	}
+	// With the lone worker wedged and the one queue slot taken, 19 of the 20
+	// fast-fail; wait for them BEFORE releasing the wedge (the two wedged
+	// calls cannot finish until it opens).
+	deadline := time.Now().Add(15 * time.Second)
+	for len(results) < 19 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	var overloaded int
+	for err := range results {
+		if errors.Is(err, protocol.ErrOverloaded) {
+			overloaded++
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no call surfaced protocol.ErrOverloaded")
+	}
+}
+
+func statErr(ctx context.Context, c *client.Client) error {
+	_, err := c.Stats(ctx)
+	return err
+}
+
+func TestClientReconnect(t *testing.T) {
+	s1 := startServer(t, server.Config{})
+	addr := s1.Addr().String()
+	c, err := client.Dial(addr, client.Options{Tenant: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, "SELECT * FROM orders WHERE o_orderkey > 10"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server; the in-flight generation dies, and because the next
+	// dial attempt may race the port re-bind, the client's backoff schedule
+	// absorbs the gap.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s1.Shutdown(sctx)
+	cancel()
+	s2 := startServer(t, server.Config{Addr: addr})
+	_ = s2
+
+	// The first call after the kill may see the dead generation's error;
+	// a subsequent call must transparently redial.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, err = c.Exec(ctx, "SELECT * FROM orders WHERE o_orderkey > 10")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c, err := client.Dial(s.Addr().String(), client.Options{Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Exec(context.Background(), "SELECT 1"); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	_, err := client.Dial("127.0.0.1:1", client.Options{
+		Tenant: "x", DialTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial to a dead port succeeded")
+	}
+}

@@ -41,6 +41,10 @@ func main() {
 		benchOut  = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
 		bench6Out = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
 		bench7Out = flag.String("benchjson7", "", "write the PR-7 parallel-build bundle as JSON to this path (e.g. BENCH_PR7.json); fails if the 4-partition build speedup is <= 1x or any merged statistic differs from the single-pass build")
+		bench8Out = flag.String("benchjson8", "", "write the PR-8 stats-as-a-service bundle as JSON to this path (e.g. BENCH_PR8.json); fails on any swarm protocol error, a missing overload fast-fail, or a dropped request during drain")
+		swarmN    = flag.Int("swarm-sessions", 1000, "concurrent client sessions for -benchjson8 / -swarm-addr")
+		swarmTen  = flag.Int("swarm-tenants", 8, "tenants for -benchjson8 / -swarm-addr")
+		swarmAddr = flag.String("swarm-addr", "", "run the client swarm against an EXTERNAL autostatsd at this address (instead of an in-process server) and exit")
 		scale     = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		wl        = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
@@ -72,6 +76,16 @@ func main() {
 		traceFile = f
 		tracer = obs.NewJSONLTracer(f)
 		obs.Default.AddTracer(tracer)
+	}
+
+	// External-swarm mode: drive an already-running autostatsd and exit —
+	// the CI server-smoke job uses this against a daemon it SIGTERMs.
+	if *swarmAddr != "" {
+		if err := runExternalSwarm(ctx, *swarmAddr, *swarmN, *swarmTen); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: swarm: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	dbList := strings.Split(*dbs, ",")
@@ -129,6 +143,14 @@ func main() {
 			runErr = fmt.Errorf("benchjson7: %w", err)
 		} else {
 			fmt.Printf("benchmark bundle written to %s\n", *bench7Out)
+		}
+	}
+
+	if *bench8Out != "" && runErr == nil {
+		if err := writeBench8JSON(*bench8Out, *scale, *swarmN, *swarmTen); err != nil {
+			runErr = fmt.Errorf("benchjson8: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *bench8Out)
 		}
 	}
 
@@ -408,6 +430,57 @@ func writeBench7JSON(path string, scale float64) error {
 		err = cerr
 	}
 	return err
+}
+
+func writeBench8JSON(path string, scale float64, sessions, tenants int) error {
+	s, err := bench.RunPR8(scale, sessions, tenants)
+	if err != nil {
+		return err
+	}
+	sw := s.Swarm
+	fmt.Printf("swarm: %d sessions x %d tenants, %d requests in %v (%.0f req/s), p50 %v p99 %v, %d failures\n",
+		sw.Sessions, sw.Tenants, sw.Requests, sw.Wall.Round(time.Millisecond),
+		sw.Throughput, sw.P50.Round(time.Microsecond), sw.P99.Round(time.Microsecond), sw.Failures)
+	fmt.Printf("plan cache (all tenants): %d hits / %d misses (%.0f%% hit rate) across %d shards\n",
+		s.PlanCache.Hits, s.PlanCache.Misses, 100*s.PlanCache.HitRate, s.PlanCache.Shards)
+	fmt.Printf("overload probe: burst %d -> %d rejected overloaded, %d wedged served later\n",
+		s.Overload.Burst, s.Overload.Rejected, s.Overload.WedgedResolved)
+	fmt.Printf("drain probe: %d in flight -> admitted %d completed %d dropped %d (forced=%v)\n",
+		s.Drain.InFlight, s.Drain.Admitted, s.Drain.Completed, s.Drain.Dropped, s.Drain.Forced)
+	// RunPR8 itself enforces the gates (zero swarm failures, ErrOverloaded
+	// fast-fails, zero dropped on drain); reaching here means they passed.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runExternalSwarm points the client swarm at a daemon started elsewhere.
+func runExternalSwarm(ctx context.Context, addr string, sessions, tenants int) error {
+	res, err := bench.Swarm(ctx, addr, bench.SwarmConfig{
+		Sessions:           sessions,
+		Tenants:            tenants,
+		RequestsPerSession: 4,
+		TuneEvery:          100,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swarm vs %s: %d sessions x %d tenants, %d requests in %v (%.0f req/s), p50 %v p99 %v, %d failures\n",
+		addr, res.Sessions, res.Tenants, res.Requests, res.Wall.Round(time.Millisecond),
+		res.Throughput, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond), res.Failures)
+	if res.Failures > 0 {
+		return fmt.Errorf("%d failures (first: %s)", res.Failures, res.FirstError)
+	}
+	if res.Throughput <= 0 {
+		return fmt.Errorf("throughput gate: %f req/s", res.Throughput)
+	}
+	return nil
 }
 
 func writeBench6JSON(path, wl string, scale float64, seed int64, parallelism int) error {

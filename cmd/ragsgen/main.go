@@ -11,12 +11,20 @@
 // The output is one SQL statement per line and loads back with statsadvisor.
 // The database the workload will run against must be generated with the
 // SAME -db/-scale/-seed so sampled predicate constants match the data.
+//
+// SIGINT/SIGTERM cancel generation. With -o the workload is written to a
+// temporary file in the target directory and renamed into place only once
+// complete, so an interrupted run never leaves a partial workload file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"autostats/internal/datagen"
 	"autostats/internal/workload"
@@ -33,41 +41,73 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg, err := datagen.ConfigByName(*dbName)
 	if err != nil {
-		fatal(err)
+		fatal(ctx, err)
 	}
 	cfg.Scale = *scale
 	cfg.Seed = *dbSeed
-	db, err := datagen.Generate(cfg)
+	db, err := datagen.GenerateCtx(ctx, cfg)
 	if err != nil {
-		fatal(err)
+		fatal(ctx, err)
 	}
 	wcfg, err := workload.ConfigByName(*wlName, *seed)
 	if err != nil {
-		fatal(err)
+		fatal(ctx, err)
 	}
 	w, err := workload.Generate(db, wcfg)
 	if err != nil {
-		fatal(err)
+		fatal(ctx, err)
 	}
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
+	if err := ctx.Err(); err != nil {
+		fatal(ctx, err)
+	}
+
+	if *outPath == "" {
+		if err := w.Save(os.Stdout); err != nil {
+			fatal(ctx, err)
 		}
-		defer f.Close()
-		out = f
-	}
-	if err := w.Save(out); err != nil {
-		fatal(err)
+	} else if err := saveAtomic(w, *outPath); err != nil {
+		fatal(ctx, err)
 	}
 	fmt.Fprintf(os.Stderr, "ragsgen: %d statements (%d queries, %d DML) for %s on %s\n",
 		len(w.Statements), len(w.Queries()), len(w.UpdateStatements()), w.Name, *dbName)
 }
 
-func fatal(err error) {
+// saveAtomic writes the workload to a temp file next to path and renames it
+// into place, removing the temp file on any failure so a crashed or
+// interrupted run leaves either the complete file or nothing.
+func saveAtomic(w *workload.Workload, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := w.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func fatal(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "ragsgen: interrupted; no partial output written")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "ragsgen:", err)
 	os.Exit(1)
 }

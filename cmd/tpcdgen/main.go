@@ -4,6 +4,10 @@
 // drawn from a Zipfian distribution with parameter z between 0 (uniform)
 // and 4 (highly skewed); -mix assigns each column its own random z.
 //
+// SIGINT/SIGTERM cancel generation: an interrupted run removes any .tbl
+// files it already wrote, so a partial dataset is never left behind to be
+// mistaken for a complete one.
+//
 // Usage:
 //
 //	tpcdgen -z 2 -scale 1 -o ./tpcd_z2
@@ -11,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"autostats/internal/datagen"
 )
@@ -32,21 +39,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tpcdgen: -z must be between 0 and 4")
 		os.Exit(2)
 	}
-	db, err := datagen.Generate(datagen.Config{Scale: *scale, Z: *z, Mix: *mix, Seed: *seed})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	db, err := datagen.GenerateCtx(ctx, datagen.Config{Scale: *scale, Z: *z, Mix: *mix, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpcdgen:", err)
-		os.Exit(1)
+		fatal(ctx, err)
 	}
-	if err := datagen.WriteTbl(db, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "tpcdgen:", err)
-		os.Exit(1)
+	if err := datagen.WriteTblCtx(ctx, db, *out); err != nil {
+		fatal(ctx, err)
 	}
 	for _, name := range db.Schema.TableNames() {
 		td, err := db.Table(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tpcdgen:", err)
-			os.Exit(1)
+			fatal(ctx, err)
 		}
 		fmt.Printf("%-10s %7d rows -> %s/%s.tbl\n", name, td.RowCount(), *out, name)
 	}
+}
+
+func fatal(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tpcdgen: interrupted; partial output removed")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "tpcdgen:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,154 @@
+package autostats
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSystemConcurrentHammer is the race-regression sweep for the
+// stats-as-a-service usage pattern: one System shared by many goroutines
+// running Exec (queries and DML), Explain, TuneQuery, RunMaintenanceCtx and
+// the read-only inspectors at the same time. The server (internal/server)
+// makes this the DEFAULT way a System is used — before it, only
+// stats.Manager internals were swept under -race. The test asserts nothing
+// about results beyond "no error"; its value is the -race run.
+func TestSystemConcurrentHammer(t *testing.T) {
+	sys, err := GenerateTPCD(TPCDOptions{Scale: 0.05, Skew: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Configure BEFORE serving, per the System concurrency contract, and
+	// turn everything on so the sweep covers the feedback capture path and
+	// the resilience guard alongside plain execution.
+	sys.EnableFeedback(FeedbackOptions{})
+	sys.EnableResilience(ResilienceOptions{})
+	if err := sys.CreateIndexedColumnStats(); err != nil {
+		t.Fatal(err)
+	}
+
+	stmts, err := sys.GenerateWorkload(WorkloadOptions{Count: 60, UpdatePct: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selects []string
+	for _, s := range stmts {
+		if exp, eerr := sys.Explain(s); eerr == nil && exp != "" {
+			selects = append(selects, s)
+		}
+	}
+	if len(selects) < 5 {
+		t.Fatalf("workload produced only %d SELECTs", len(selects))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	report := func(kind string, err error) {
+		if err != nil {
+			select {
+			case errs <- fmt.Errorf("%s: %w", kind, err):
+			default:
+			}
+		}
+	}
+
+	// Statement executors: queries and DML interleaved, offset per worker so
+	// the schedules differ.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < len(stmts); i++ {
+				_, err := sys.Exec(stmts[(i+off)%len(stmts)])
+				report("exec", err)
+			}
+		}(w * 7)
+	}
+	// Explainers over the SELECT subset.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(selects); i++ {
+				_, err := sys.Explain(selects[(i+off)%len(selects)])
+				report("explain", err)
+			}
+		}(w * 3)
+	}
+	// Tuner: MNSA creates statistics while statements run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			_, err := sys.TuneQuery(selects[i%len(selects)], TuneOptions{})
+			report("tune", err)
+		}
+	}()
+	// Maintenance loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			_, err := sys.RunMaintenanceCtx(context.Background())
+			report("maintenance", err)
+		}
+	}()
+	// Read-only inspectors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = sys.Statistics()
+			_ = sys.PlanCacheStats()
+			_ = sys.BreakerStates()
+			_ = sys.FeedbackStats()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSystemConcurrentExecDeterministicResults pins down that concurrent
+// Exec of the same SELECT (plan-cache hits from pooled session clones)
+// returns the same row multiset as a serial run.
+func TestSystemConcurrentExecDeterministicResults(t *testing.T) {
+	sys, err := GenerateTPCD(TPCDOptions{Scale: 0.05, Skew: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateIndexedColumnStats(); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT * FROM orders WHERE o_orderkey > 10"
+	ref, err := sys.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*QueryResult, 16)
+	errList := make([]error, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errList[i] = sys.Exec(q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errList {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if len(got[i].Rows) != len(ref.Rows) {
+			t.Fatalf("worker %d: %d rows, want %d", i, len(got[i].Rows), len(ref.Rows))
+		}
+	}
+	if hits := sys.PlanCacheStats().Hits; hits == 0 {
+		t.Fatalf("concurrent repeats of one template produced no plan-cache hits")
+	}
+}

@@ -41,6 +41,9 @@ type FeedbackOptions struct {
 // Enable feedback before TuneWorkload spawns parallel workers; the ledger
 // itself is safe for concurrent use.
 func (s *System) EnableFeedback(opts FeedbackOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.refreshSessions()
 	minObs := opts.MinObservations
 	if minObs <= 0 {
 		minObs = 2
@@ -73,6 +76,9 @@ func (s *System) EnableFeedback(opts FeedbackOptions) {
 // and feedback-driven maintenance all stop, and the maintenance policy
 // reverts to the plain counter-driven default.
 func (s *System) DisableFeedback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.refreshSessions()
 	s.fb = nil
 	s.ex.SetFeedback(nil)
 	s.sess.SetCorrections(nil)
@@ -106,5 +112,7 @@ func (s *System) FeedbackEntries() []feedback.EntrySnapshot {
 // (the feedback-enabled policy after EnableFeedback) and returns the full
 // report, including feedback-triggered refreshes and confirmed drops.
 func (s *System) RunMaintenanceReport() (stats.MaintenanceReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.mgr.RunMaintenance(s.maint)
 }

@@ -1,0 +1,454 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autostats"
+	"autostats/client"
+	"autostats/internal/protocol"
+	"autostats/internal/server"
+)
+
+// SwarmConfig shapes a client swarm against one server address.
+type SwarmConfig struct {
+	// Sessions is the number of concurrent client sessions; each session
+	// opens its own connection and issues requests serially.
+	Sessions int
+	// Tenants spreads the sessions round-robin across this many tenants
+	// ("t0".."tN-1").
+	Tenants int
+	// RequestsPerSession is how many exec requests each session issues.
+	RequestsPerSession int
+	// TuneEvery makes every TuneEvery-th session run one single-query tune
+	// after its execs (0 disables tuning).
+	TuneEvery int
+}
+
+// SwarmResult aggregates one swarm run.
+type SwarmResult struct {
+	Sessions   int
+	Tenants    int
+	Requests   int64
+	Failures   int64
+	Wall       time.Duration
+	Throughput float64 // requests per second, swarm-wide
+	P50        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	// FirstError samples one failure for the report (empty when Failures==0).
+	FirstError string
+}
+
+// swarmTemplates are the repeated exec templates; repeating a small set per
+// tenant is what drives the multi-tenant plan-cache hit rate.
+var swarmTemplates = []string{
+	"SELECT * FROM orders WHERE o_orderkey > 10",
+	"SELECT * FROM lineitem WHERE l_quantity > 45",
+	"SELECT * FROM orders WHERE o_totalprice > 1000",
+	"SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity > 45",
+}
+
+// Swarm runs cfg.Sessions concurrent client sessions against addr and
+// aggregates latency and failure counts. It works against an in-process
+// server or an external daemon (cmd/experiments -swarm-addr).
+func Swarm(ctx context.Context, addr string, cfg SwarmConfig) (*SwarmResult, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.RequestsPerSession <= 0 {
+		cfg.RequestsPerSession = 1
+	}
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		failures  atomic.Int64
+		firstErr  atomic.Pointer[string]
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	recordErr := func(err error) {
+		failures.Add(1)
+		msg := err.Error()
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%cfg.Tenants)
+			c, err := client.Dial(addr, client.Options{Tenant: tenant})
+			if err != nil {
+				recordErr(fmt.Errorf("session %d dial: %w", i, err))
+				return
+			}
+			defer c.Close()
+			local := make([]time.Duration, 0, cfg.RequestsPerSession)
+			for j := 0; j < cfg.RequestsPerSession; j++ {
+				sql := swarmTemplates[(i+j)%len(swarmTemplates)]
+				t0 := time.Now()
+				_, err := c.Exec(ctx, sql)
+				d := time.Since(t0)
+				requests.Add(1)
+				if err != nil {
+					recordErr(fmt.Errorf("session %d exec: %w", i, err))
+					return
+				}
+				local = append(local, d)
+			}
+			if cfg.TuneEvery > 0 && i%cfg.TuneEvery == 0 {
+				t0 := time.Now()
+				_, err := c.Tune(ctx, []string{swarmTemplates[3]}, nil)
+				d := time.Since(t0)
+				requests.Add(1)
+				if err != nil {
+					recordErr(fmt.Errorf("session %d tune: %w", i, err))
+					return
+				}
+				local = append(local, d)
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &SwarmResult{
+		Sessions: cfg.Sessions,
+		Tenants:  cfg.Tenants,
+		Requests: requests.Load(),
+		Failures: failures.Load(),
+		Wall:     wall,
+	}
+	if msg := firstErr.Load(); msg != nil {
+		res.FirstError = *msg
+	}
+	if wall > 0 {
+		res.Throughput = float64(res.Requests) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		res.P50 = latencies[len(latencies)/2]
+		res.P99 = latencies[len(latencies)*99/100]
+		res.Max = latencies[len(latencies)-1]
+	}
+	return res, nil
+}
+
+// OverloadProbe is the admission-control gate: against a server with one
+// worker wedged and a one-slot queue, a burst of requests must fast-fail
+// with ErrOverloaded rather than queue unboundedly.
+type OverloadProbe struct {
+	Burst            int
+	Rejected         int
+	CompletedLater   int
+	AllErrOverloaded bool
+	// WedgedResolved is the two wedged requests completing once the wedge
+	// opens — proof rejection didn't leak their slots.
+	WedgedResolved int
+}
+
+// DrainProbe is the graceful-shutdown gate: with requests wedged in-flight,
+// Shutdown must complete them all — Dropped stays 0 and every waiter gets
+// its response.
+type DrainProbe struct {
+	InFlight  int
+	Admitted  int64
+	Completed int64
+	Dropped   int64
+	Forced    bool
+	// ResponsesReceived counts client-side responses for the wedged
+	// requests; it must equal InFlight.
+	ResponsesReceived int
+}
+
+// PlanCacheSummary is the aggregated multi-tenant plan-cache outcome of the
+// swarm phase.
+type PlanCacheSummary struct {
+	Hits    uint64
+	Misses  uint64
+	HitRate float64
+	Size    int
+	Shards  int
+}
+
+// PR8Summary is the machine-readable bundle for the stats-as-a-service PR,
+// serialized to BENCH_PR8.json by cmd/experiments -benchjson8. The gates:
+// Swarm.Failures == 0 at >= 1000 sessions over >= 8 tenants,
+// Overload.Rejected > 0 with AllErrOverloaded, Drain.Dropped == 0.
+type PR8Summary struct {
+	Scale     float64
+	Swarm     *SwarmResult
+	PlanCache PlanCacheSummary
+	Overload  *OverloadProbe
+	Drain     *DrainProbe
+}
+
+// tenantFactory builds the per-tenant system used by the benchmark server.
+func tenantFactory(scale float64) func(string) (*autostats.System, error) {
+	return func(string) (*autostats.System, error) {
+		return autostats.GenerateTPCD(autostats.TPCDOptions{Scale: scale, Skew: 2})
+	}
+}
+
+// runSwarmPhase starts an in-process server and drives the full swarm.
+func runSwarmPhase(scale float64, cfg SwarmConfig) (*SwarmResult, PlanCacheSummary, error) {
+	srv, err := server.New(server.Config{
+		Addr: "127.0.0.1:0",
+		// The throughput phase must not shed load: the queue is sized to the
+		// swarm so admission control never rejects (overload behavior has its
+		// own probe below).
+		Workers:    8,
+		QueueDepth: 2 * cfg.Sessions,
+		MaxTenants: cfg.Tenants + 1,
+		NewTenant:  tenantFactory(scale),
+	})
+	if err != nil {
+		return nil, PlanCacheSummary{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, PlanCacheSummary{}, err
+	}
+	res, err := Swarm(context.Background(), srv.Addr().String(), cfg)
+	var pc PlanCacheSummary
+	if err == nil {
+		st := srv.PlanCacheStats()
+		pc = PlanCacheSummary{
+			Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate(),
+			Size: st.Size, Shards: st.Shards,
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep := srv.Shutdown(ctx)
+	if err == nil && rep.Dropped != 0 {
+		err = fmt.Errorf("bench: swarm shutdown dropped %d requests", rep.Dropped)
+	}
+	return res, pc, err
+}
+
+// runOverloadProbe wedges a 1-worker, 1-slot server and bursts requests at
+// it; the burst must fast-fail with ErrOverloaded.
+func runOverloadProbe(burst int) (*OverloadProbe, error) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	srv, err := server.New(server.Config{
+		Addr: "127.0.0.1:0", Workers: 1, QueueDepth: 1,
+		NewTenant: func(string) (*autostats.System, error) {
+			started <- struct{}{}
+			<-release
+			return nil, errors.New("bench: wedged tenant")
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Tenant: "wedge"})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	probe := &OverloadProbe{Burst: burst, AllErrOverloaded: true}
+	ctx := context.Background()
+	results := make(chan error, burst+2)
+	var wg sync.WaitGroup
+	stat := func() {
+		defer wg.Done()
+		_, err := c.Stats(ctx)
+		results <- err
+	}
+	// Wedge the lone worker, then let one request take the queue slot.
+	wg.Add(1)
+	go stat()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		return nil, errors.New("bench: overload probe never wedged")
+	}
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go stat()
+	}
+	// The burst resolves as fast-fails except the one queued request; wait
+	// for those rejections before opening the wedge.
+	deadline := time.Now().Add(60 * time.Second)
+	for len(results) < burst-1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		switch {
+		case err == nil:
+			probe.CompletedLater++
+		case errors.Is(err, protocol.ErrOverloaded):
+			probe.Rejected++
+		case strings.Contains(err.Error(), "wedged tenant"):
+			// The wedged requests resolve with the factory's synthetic error
+			// — a served response, not a rejection.
+			probe.WedgedResolved++
+		default:
+			// Anything else (transport failure, wrong code) breaks the
+			// "rejections surface as ErrOverloaded" gate.
+			probe.AllErrOverloaded = false
+		}
+	}
+	if probe.Rejected == 0 {
+		return probe, errors.New("bench: overload probe saw no ErrOverloaded rejections")
+	}
+	return probe, nil
+}
+
+// runDrainProbe wedges requests in flight and shuts the server down
+// concurrently; the drain must complete every admitted request.
+func runDrainProbe(inFlight int) (*DrainProbe, error) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	srv, err := server.New(server.Config{
+		Addr: "127.0.0.1:0", Workers: inFlight, QueueDepth: inFlight,
+		NewTenant: func(string) (*autostats.System, error) {
+			started <- struct{}{}
+			<-release
+			return nil, errors.New("bench: wedged tenant")
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	responded := make(chan error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		c, err := client.Dial(srv.Addr().String(), client.Options{Tenant: fmt.Sprintf("d%d", i)})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			_, err := c.Stats(ctx)
+			responded <- err
+		}(c)
+	}
+	// All inFlight requests must be wedged inside workers before the drain
+	// starts, so the drain genuinely has work outstanding.
+	for i := 0; i < inFlight; i++ {
+		select {
+		case <-started:
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("bench: drain probe never wedged")
+		}
+	}
+
+	drainDone := make(chan server.DrainReport, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drainDone <- srv.Shutdown(sctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown reach its in-flight wait
+	close(release)
+	wg.Wait()
+	close(responded)
+	rep := <-drainDone
+
+	probe := &DrainProbe{
+		InFlight: inFlight,
+		Admitted: rep.Admitted, Completed: rep.Completed,
+		Dropped: rep.Dropped, Forced: rep.Forced,
+	}
+	for err := range responded {
+		// Each wedged request resolves with the factory's synthetic error —
+		// a served RESPONSE that crossed the draining connection. A transport
+		// failure (connection torn down before the response) would surface
+		// differently and not count.
+		if err != nil && strings.Contains(err.Error(), "wedged tenant") {
+			probe.ResponsesReceived++
+		}
+	}
+	if probe.Dropped != 0 {
+		return probe, fmt.Errorf("bench: drain dropped %d admitted requests", probe.Dropped)
+	}
+	if probe.ResponsesReceived != inFlight {
+		return probe, fmt.Errorf("bench: only %d/%d wedged requests got responses through the drain",
+			probe.ResponsesReceived, inFlight)
+	}
+	return probe, nil
+}
+
+// RunPR8 gathers the stats-as-a-service benchmark bundle: a client swarm
+// (sessions concurrent sessions over tenants tenants, pipelined over real
+// TCP), the multi-tenant plan-cache outcome, the overload fast-fail probe,
+// and the graceful-drain probe.
+func RunPR8(scale float64, sessions, tenants int) (*PR8Summary, error) {
+	if sessions <= 0 {
+		sessions = 1000
+	}
+	if tenants <= 0 {
+		tenants = 8
+	}
+	swarm, pc, err := runSwarmPhase(scale, SwarmConfig{
+		Sessions:           sessions,
+		Tenants:            tenants,
+		RequestsPerSession: 4,
+		TuneEvery:          100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if swarm.Failures > 0 {
+		return nil, fmt.Errorf("bench: swarm had %d failures (first: %s)", swarm.Failures, swarm.FirstError)
+	}
+	overload, err := runOverloadProbe(32)
+	if err != nil {
+		return nil, err
+	}
+	drain, err := runDrainProbe(8)
+	if err != nil {
+		return nil, err
+	}
+	return &PR8Summary{
+		Scale:     scale,
+		Swarm:     swarm,
+		PlanCache: pc,
+		Overload:  overload,
+		Drain:     drain,
+	}, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR8Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestRunPR8Smoke runs the full bundle at toy size — the shape and gates,
+// not the 1000-session scale (cmd/experiments -benchjson8 runs that).
+func TestRunPR8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm benchmark in -short mode")
+	}
+	sum, err := RunPR8(0.02, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Swarm.Failures != 0 {
+		t.Fatalf("swarm failures: %d (%s)", sum.Swarm.Failures, sum.Swarm.FirstError)
+	}
+	if sum.Swarm.Requests < int64(24*4) {
+		t.Fatalf("swarm issued %d requests, want >= %d", sum.Swarm.Requests, 24*4)
+	}
+	if sum.Swarm.Throughput <= 0 || sum.Swarm.P99 <= 0 {
+		t.Fatalf("throughput/latency empty: %+v", sum.Swarm)
+	}
+	if sum.PlanCache.Hits == 0 {
+		t.Fatalf("repeated templates produced no multi-tenant plan-cache hits: %+v", sum.PlanCache)
+	}
+	if sum.Overload.Rejected == 0 || !sum.Overload.AllErrOverloaded {
+		t.Fatalf("overload probe: %+v", sum.Overload)
+	}
+	if sum.Drain.Dropped != 0 || sum.Drain.ResponsesReceived != sum.Drain.InFlight {
+		t.Fatalf("drain probe: %+v", sum.Drain)
+	}
+}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -170,6 +171,14 @@ func scaled(base int, scale float64) int {
 
 // Generate builds a fully loaded skewed TPC-D database.
 func Generate(cfg Config) (*storage.Database, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate honoring cancellation: ctx is checked before each
+// table and every 1024 generated rows, so an interrupted CLI returns
+// promptly instead of finishing a large scale factor. The partially built
+// in-memory database is simply discarded — nothing touches disk here.
+func GenerateCtx(ctx context.Context, cfg Config) (*storage.Database, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
@@ -192,8 +201,16 @@ func Generate(cfg Config) (*storage.Database, error) {
 	nLine := scaled(baseLineItem, cfg.Scale)
 
 	load := func(table string, n int, mkRow func(i int) storage.Row) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rows := make([]storage.Row, n)
 		for i := 0; i < n; i++ {
+			if i&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			rows[i] = mkRow(i)
 		}
 		td, err := db.Table(table)

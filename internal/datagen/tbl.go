@@ -2,6 +2,7 @@ package datagen
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,23 +18,58 @@ import (
 // <table>.tbl file under dir, the flat-file format of the original dbgen
 // tool (one row per line, columns separated by '|').
 func WriteTbl(db *storage.Database, dir string) error {
+	return WriteTblCtx(context.Background(), db, dir)
+}
+
+// WriteTblCtx is WriteTbl honoring cancellation, with the stronger guarantee
+// that a failed or interrupted run leaves no partial dataset behind: every
+// .tbl file created so far is removed, and the directory too if this call
+// created it and it is otherwise empty. ctx is checked before each table and
+// every 4096 rows while streaming.
+func WriteTblCtx(ctx context.Context, db *storage.Database, dir string) (err error) {
+	madeDir := false
+	if _, serr := os.Stat(dir); os.IsNotExist(serr) {
+		madeDir = true
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	var created []string
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, p := range created {
+			os.Remove(p)
+		}
+		if madeDir {
+			os.Remove(dir) // only succeeds if empty, which is the point
+		}
+	}()
 	for _, name := range db.Schema.TableNames() {
-		td, err := db.Table(name)
-		if err != nil {
-			return err
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
-		f, err := os.Create(filepath.Join(dir, name+".tbl"))
-		if err != nil {
-			return err
+		td, terr := db.Table(name)
+		if terr != nil {
+			return terr
 		}
+		path := filepath.Join(dir, name+".tbl")
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return ferr
+		}
+		created = append(created, path)
 		w := bufio.NewWriter(f)
 		var werr error
-		td.Scan(func(_ int, r storage.Row) bool {
-			for i, d := range r {
-				if i > 0 {
+		td.Scan(func(i int, r storage.Row) bool {
+			if i&4095 == 4095 {
+				if werr = ctx.Err(); werr != nil {
+					return false
+				}
+			}
+			for j, d := range r {
+				if j > 0 {
 					if _, werr = w.WriteString("|"); werr != nil {
 						return false
 					}
@@ -54,6 +90,9 @@ func WriteTbl(db *storage.Database, dir string) error {
 			werr = cerr
 		}
 		if werr != nil {
+			if werr == ctx.Err() && werr != nil {
+				return werr
+			}
 			return fmt.Errorf("datagen: writing %s.tbl: %w", name, werr)
 		}
 	}

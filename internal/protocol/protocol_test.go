@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		ID:     42,
+		Op:     OpTune,
+		Tenant: "acme",
+		SQLs:   []string{"SELECT * FROM lineitem WHERE l_quantity > 45"},
+		Tune:   &TuneParams{ThresholdPct: 10, Shrink: true, Parallelism: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Op != in.Op || out.Tenant != in.Tenant {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.SQLs) != 1 || out.SQLs[0] != in.SQLs[0] {
+		t.Fatalf("SQLs lost: %+v", out.SQLs)
+	}
+	if out.Tune == nil || out.Tune.ThresholdPct != 10 || !out.Tune.Shrink || out.Tune.Parallelism != 2 {
+		t.Fatalf("tune params lost: %+v", out.Tune)
+	}
+}
+
+func TestResponseRoundTripAndErr(t *testing.T) {
+	in := &Response{
+		ID:   7,
+		Exec: &ExecResult{Columns: []string{"a.b"}, Rows: [][]string{{"1"}}, ExecCost: 3.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResponse(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Exec == nil || out.Exec.ExecCost != 3.5 {
+		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+	if out.Err() != nil {
+		t.Fatalf("success response reported error %v", out.Err())
+	}
+
+	if err := ErrResponse(9, CodeOverloaded, "busy").Err(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded code should map to ErrOverloaded, got %v", err)
+	}
+	if err := ErrResponse(9, CodeDraining, "bye").Err(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining code should map to ErrDraining, got %v", err)
+	}
+	if err := ErrResponse(9, CodeSQL, "boom").Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("sql error lost: %v", err)
+	}
+}
+
+func TestDecodeFrameShortAndOversized(t *testing.T) {
+	// Too short for a header.
+	if _, _, err := DecodeFrame([]byte{0, 0}, 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame for short header, got %v", err)
+	}
+	// Header present, payload truncated.
+	frame := AppendFrame(nil, []byte(`{"id":1}`))
+	if _, _, err := DecodeFrame(frame[:len(frame)-3], 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame for truncated payload, got %v", err)
+	}
+	// Oversized declared length is rejected before any payload inspection.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, _, err := DecodeFrame(hdr[:], 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// Two concatenated frames decode in order with the rest returned.
+	buf := AppendFrame(AppendFrame(nil, []byte("one")), []byte("two"))
+	p1, rest, err := DecodeFrame(buf, 0)
+	if err != nil || string(p1) != "one" {
+		t.Fatalf("first frame: %q %v", p1, err)
+	}
+	p2, rest, err := DecodeFrame(rest, 0)
+	if err != nil || string(p2) != "two" || len(rest) != 0 {
+		t.Fatalf("second frame: %q rest=%d %v", p2, len(rest), err)
+	}
+}
+
+func TestReadFrameTruncatedStream(t *testing.T) {
+	frame := AppendFrame(nil, []byte(`{"id":1,"op":"hello"}`))
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if cut == 0 {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("cut=0: want io.EOF, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: want io.ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestReadFrameOversizedDoesNotRead(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(DefaultMaxFrame+1))
+	r := bytes.NewReader(append(hdr[:], bytes.Repeat([]byte{'x'}, 64)...))
+	if _, err := ReadFrame(r, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// The payload must not have been consumed: the cap check happens first.
+	if r.Len() != 64 {
+		t.Fatalf("oversized frame consumed payload bytes: %d left", r.Len())
+	}
+}
+
+func TestEncodeFrameRespectsCap(t *testing.T) {
+	big := &Response{ID: 1, Metrics: strings.Repeat("m", 1024)}
+	if _, err := EncodeFrame(big, 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge from encode, got %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+
+	"autostats/internal/obs"
+)
+
+// MetricsHandler serves a registry over HTTP — the optional -metrics-addr
+// endpoint of cmd/autostatsd. GET / returns the expvar-style "name value"
+// text dump; GET /?format=json (or an Accept header preferring
+// application/json) returns the full structured obs.Snapshot, timings and
+// histograms included.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if wantJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reg.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func wantJSON(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "text":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// ServeMetrics starts an HTTP server for reg on addr and returns its bound
+// address and a shutdown func. It exists so cmd/autostatsd's -metrics-addr
+// wiring stays one call.
+func ServeMetrics(addr string, reg *obs.Registry) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/", MetricsHandler(reg))
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

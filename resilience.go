@@ -42,6 +42,8 @@ type ResilienceOptions struct {
 // automatically once builds succeed again. Calling it again replaces the
 // stack (breaker state resets).
 func (s *System) EnableResilience(opts ResilienceOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	retry := resilience.DefaultRetry(opts.Seed)
 	switch {
 	case opts.Retries > 0:
@@ -68,6 +70,8 @@ func (s *System) EnableResilience(opts ResilienceOptions) {
 // DisableResilience detaches the resilience layer; statistics failures abort
 // operations again, as before EnableResilience.
 func (s *System) DisableResilience() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.guard = nil
 	s.auto.Guard = nil
 }
@@ -89,6 +93,8 @@ func (s *System) BreakerStates() []resilience.TableState {
 // pass skips open-breaker tables and tolerates per-table failures (recorded
 // in the report) instead of aborting.
 func (s *System) RunMaintenanceCtx(ctx context.Context) (stats.MaintenanceReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.guard != nil {
 		return s.guard.MaintainCtx(ctx, s.maint)
 	}

@@ -91,12 +91,16 @@ func (s *System) TuneQuery(sql string, opts TuneOptions) (*TuneReport, error) {
 	return s.TuneQueryCtx(context.Background(), sql, opts)
 }
 
-// TuneQueryCtx is TuneQuery honoring cancellation and deadlines.
+// TuneQueryCtx is TuneQuery honoring cancellation and deadlines. Tuning
+// entry points serialize on the system's internal mutex; concurrent callers
+// queue (see the System doc comment).
 func (s *System) TuneQueryCtx(ctx context.Context, sql string, opts TuneOptions) (*TuneReport, error) {
 	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.mgr.ResetAccounting()
 	s.sess.ClearDegraded()
 	res, err := core.RunMNSACtx(ctx, s.sess, q, s.config(opts))
@@ -147,6 +151,8 @@ func (s *System) config(opts TuneOptions) core.Config {
 }
 
 func (s *System) tuneQueries(ctx context.Context, queries []*query.Select, opts TuneOptions) (*TuneReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.mgr.ResetAccounting()
 	s.sess.ClearDegraded()
 	cfg := s.config(opts)
@@ -230,6 +236,8 @@ func (s *System) ProcessStatementCtx(ctx context.Context, sql string) (*QueryRes
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := s.auto.ProcessStatementCtx(ctx, stmt)
 	if err != nil {
 		return nil, err
