@@ -352,6 +352,36 @@ func (s *System) DisableIncrementalMaintenance() error {
 	return s.mgr.SetIncrementalMaintenance(stats.FoldConfig{})
 }
 
+// EnableStreamingBuilds routes subsequent full statistic builds through the
+// streaming scan seam: the table is read in blocks of blockSize rows under a
+// snapshot guard, summarized into partials of at most partitionRows rows,
+// and merged — bitwise-identical to the one-shot build, with peak build
+// memory bounded by the partition and memBudgetBytes instead of the table
+// size. Partials exceeding the budget spill to temp files and are reloaded
+// only for the final merge. Zero values pick defaults (blockSize
+// storage.DefaultBlockSize, partitionRows stats.DefaultStreamPartitionRows,
+// budget unbounded). Sampled builds (when sampling is configured) keep the
+// materialized path. Configuration method: call before sharing the System.
+func (s *System) EnableStreamingBuilds(blockSize, partitionRows int, memBudgetBytes int64) error {
+	return s.mgr.SetStreamingBuild(stats.StreamConfig{
+		Enabled:        true,
+		BlockSize:      blockSize,
+		PartitionRows:  partitionRows,
+		MemBudgetBytes: memBudgetBytes,
+	})
+}
+
+// DisableStreamingBuilds reverts statistic builds to the one-shot
+// materialized scan.
+func (s *System) DisableStreamingBuilds() error {
+	return s.mgr.SetStreamingBuild(stats.StreamConfig{})
+}
+
+// StreamingBuilds reports whether streaming builds are enabled.
+func (s *System) StreamingBuilds() bool {
+	return s.mgr.StreamingBuild().Enabled
+}
+
 // CreateIndexedColumnStats builds single-column statistics on every indexed
 // column — the "tuned database" baseline of the paper's §1 experiment.
 func (s *System) CreateIndexedColumnStats() error {

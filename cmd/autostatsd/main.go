@@ -44,6 +44,8 @@ var (
 	planCache    = flag.Int("plan-cache", 0, "per-tenant plan cache capacity (0 = default)")
 	feedbackOn   = flag.Bool("feedback", true, "enable the execution-feedback loop per tenant")
 	resilienceOn = flag.Bool("resilience", true, "enable the resilience layer per tenant")
+	buildMem     = flag.Int64("build-mem-budget", 0, "per-tenant streaming-build memory budget in bytes (0 disables streaming builds)")
+	blockSize    = flag.Int("block-size", 0, "rows per scan block for streaming builds (0 = default; needs -build-mem-budget)")
 	metricsAddr  = flag.String("metrics-addr", "", "optional HTTP address serving the metrics registry (text, or ?format=json)")
 	drainTO      = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
 	verbose      = flag.Bool("verbose", false, "log per-lifecycle-event detail")
@@ -78,6 +80,11 @@ func run() error {
 		}
 		if *resilienceOn {
 			sys.EnableResilience(autostats.ResilienceOptions{Seed: *dbSeed})
+		}
+		if *buildMem > 0 {
+			if err := sys.EnableStreamingBuilds(*blockSize, 0, *buildMem); err != nil {
+				return nil, fmt.Errorf("tenant %s: %w", name, err)
+			}
 		}
 		if *verbose {
 			logger.Printf("tenant %s ready in %v", name, time.Since(start).Round(time.Millisecond))

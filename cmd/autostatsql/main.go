@@ -47,6 +47,8 @@ func main() {
 		buildPar = flag.Int("build-parallelism", 1, "scan partitions per statistic build; partial histograms are merged into a result identical to a single-pass build (<=1 = single-pass)")
 		incr     = flag.Bool("incremental", false, "incremental statistics maintenance: refreshes fold logged row deltas into histograms instead of rescanning")
 		foldFrac = flag.Float64("max-fold-fraction", 0, "folded-rows fraction above which a refresh rebuilds from a full scan (needs -incremental; 0 = default 0.1)")
+		buildMem = flag.Int64("build-mem-budget", 0, "streaming-build memory budget in bytes: scan in blocks and spill finished partials past the budget (0 disables streaming builds)")
+		blockSz  = flag.Int("block-size", 0, "rows per scan block for streaming builds (0 = default; needs -build-mem-budget)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,13 @@ func main() {
 		}
 		fmt.Printf("incremental maintenance ON: refreshes fold row deltas (max fold fraction %v)\n",
 			orDefaultFrac(*foldFrac))
+	}
+	if *buildMem > 0 {
+		if err := sys.EnableStreamingBuilds(*blockSz, 0, *buildMem); err != nil {
+			fmt.Fprintln(os.Stderr, "autostatsql:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("streaming builds ON: %d-byte memory budget\n", *buildMem)
 	}
 	fmt.Printf("autostatsql — %s at scale %.2f. Type .help for commands.\n", *dbName, *scale)
 	if err := runREPL(ctx, sys, os.Stdin, os.Stdout); err != nil {

@@ -42,6 +42,7 @@ func main() {
 		bench6Out = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
 		bench7Out = flag.String("benchjson7", "", "write the PR-7 parallel-build bundle as JSON to this path (e.g. BENCH_PR7.json); fails if the 4-partition build speedup is <= 1x or any merged statistic differs from the single-pass build")
 		bench8Out = flag.String("benchjson8", "", "write the PR-8 stats-as-a-service bundle as JSON to this path (e.g. BENCH_PR8.json); fails on any swarm protocol error, a missing overload fast-fail, or a dropped request during drain")
+		bench9Out = flag.String("benchjson9", "", "write the PR-9 streaming-build bundle as JSON to this path (e.g. BENCH_PR9.json); fails if peak build memory is not flat across a 10x table growth, the spill path never ran, or any streamed histogram differs from its single-pass reference")
 		swarmN    = flag.Int("swarm-sessions", 1000, "concurrent client sessions for -benchjson8 / -swarm-addr")
 		swarmTen  = flag.Int("swarm-tenants", 8, "tenants for -benchjson8 / -swarm-addr")
 		swarmAddr = flag.String("swarm-addr", "", "run the client swarm against an EXTERNAL autostatsd at this address (instead of an in-process server) and exit")
@@ -151,6 +152,14 @@ func main() {
 			runErr = fmt.Errorf("benchjson8: %w", err)
 		} else {
 			fmt.Printf("benchmark bundle written to %s\n", *bench8Out)
+		}
+	}
+
+	if *bench9Out != "" && runErr == nil {
+		if err := writeBench9JSON(*bench9Out, *scale); err != nil {
+			runErr = fmt.Errorf("benchjson9: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *bench9Out)
 		}
 	}
 
@@ -449,6 +458,49 @@ func writeBench8JSON(path string, scale float64, sessions, tenants int) error {
 		s.Drain.InFlight, s.Drain.Admitted, s.Drain.Completed, s.Drain.Dropped, s.Drain.Forced)
 	// RunPR8 itself enforces the gates (zero swarm failures, ErrOverloaded
 	// fast-fails, zero dropped on drain); reaching here means they passed.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeBench9JSON runs the PR-9 streaming-build bundle and applies its smoke
+// gates: peak build memory must stay flat (ratio <= bench.MaxFlatPeakRatio)
+// while the table grows 10x, the large arm must actually have exercised the
+// spill path, and every streamed histogram — both arms and the full
+// block-size × spill sweep — must be bitwise-identical to its single-pass
+// reference.
+func writeBench9JSON(path string, scale float64) error {
+	s, err := bench.RunPR9(scale)
+	if err != nil {
+		return err
+	}
+	for _, arm := range []struct {
+		name string
+		a    bench.StreamArm
+	}{{"small", s.Small}, {"large", s.Large}} {
+		fmt.Printf("streaming build %-5s: %8d rows, %6d blocks, %4d spills (%d bytes), peak %7d bytes, %v, mismatch=%v\n",
+			arm.name, arm.a.Rows, arm.a.Blocks, arm.a.Spills, arm.a.SpillBytes,
+			arm.a.PeakBytes, arm.a.Wall.Round(time.Millisecond), arm.a.Mismatch)
+	}
+	fmt.Printf("peak ratio across %dx growth: %.2f (gate <= %.2f) | sweep: %d builds, %d mismatches\n",
+		s.LargeFactor, s.PeakRatio, bench.MaxFlatPeakRatio, s.Sweep.Builds, s.Sweep.Mismatches)
+	if s.Small.Mismatch || s.Large.Mismatch || s.Sweep.Mismatches > 0 {
+		return fmt.Errorf("smoke gate: streamed histograms differ from single-pass builds (small=%v large=%v sweep=%d)",
+			s.Small.Mismatch, s.Large.Mismatch, s.Sweep.Mismatches)
+	}
+	if s.PeakRatio <= 0 || s.PeakRatio > bench.MaxFlatPeakRatio {
+		return fmt.Errorf("smoke gate: peak build memory ratio %.2f over %dx growth exceeds %.2f — not flat",
+			s.PeakRatio, s.LargeFactor, bench.MaxFlatPeakRatio)
+	}
+	if s.Large.Spills == 0 {
+		return fmt.Errorf("smoke gate: large arm never spilled — the budget path went unexercised")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

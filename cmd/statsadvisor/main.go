@@ -68,6 +68,8 @@ var (
 	buildPar = flag.Int("build-parallelism", 1, "scan partitions per statistic build; partial histograms are merged into a result identical to a single-pass build (<=1 = single-pass)")
 	incr     = flag.Bool("incremental", false, "incremental statistics maintenance: refreshes fold logged row deltas into histograms instead of rescanning")
 	foldFrac = flag.Float64("max-fold-fraction", 0, "folded-rows fraction above which a refresh rebuilds from a full scan (needs -incremental; 0 = default 0.1)")
+	buildMem = flag.Int64("build-mem-budget", 0, "streaming-build memory budget in bytes: scan in blocks and spill finished partials past the budget (0 disables streaming builds)")
+	blockSz  = flag.Int("block-size", 0, "rows per scan block for streaming builds (0 = default; needs -build-mem-budget)")
 )
 
 func main() {
@@ -161,6 +163,16 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Printf("incremental maintenance: refreshes fold row deltas (max fold fraction %v)\n", *foldFrac)
+	}
+	if *buildMem > 0 {
+		if err := mgr.SetStreamingBuild(stats.StreamConfig{
+			Enabled:        true,
+			BlockSize:      *blockSz,
+			MemBudgetBytes: *buildMem,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("streaming builds: %d-byte memory budget\n", *buildMem)
 	}
 	sess := optimizer.NewSession(mgr)
 	cache := optimizer.NewPlanCache(*cacheCap)

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"autostats/internal/catalog"
+	"autostats/internal/histogram"
+	"autostats/internal/obs"
+	"autostats/internal/stats"
+	"autostats/internal/storage"
+)
+
+// PR-9 bundle: streaming (block-at-a-time) statistic construction. The
+// headline claim is flat peak build memory — growing the table 10x must not
+// grow the build's memory high-water mark — plus bitwise identity of every
+// streamed build against the one-shot reference, across block sizes and
+// forced spilling.
+//
+// The benchmark tables have BOUNDED distinct counts (values are drawn
+// modulo fixed ranges): a histogram partial retains one entry per distinct
+// leading value and prefix, so "flat memory" is only a meaningful claim
+// when the summary itself does not grow with row count — which matches the
+// production shape (domains grow much slower than row counts). The peak is
+// the manager's deterministic byte estimate (stats.build.mem_peak_bytes):
+// builder plus retained partials, the quantity the budget bounds.
+
+// streamBenchConfig is the streaming configuration both arms run with.
+var streamBenchConfig = stats.StreamConfig{
+	Enabled:        true,
+	BlockSize:      256,
+	PartitionRows:  2048,
+	MemBudgetBytes: 128 << 10,
+}
+
+// StreamArm is one table-size arm of the streaming build benchmark.
+type StreamArm struct {
+	Rows       int64
+	Blocks     int64
+	Spills     int64
+	SpillBytes int64
+	// PeakBytes is the build's peak estimated memory (builder + retained
+	// partials), from the stats.build.mem_peak_bytes gauge.
+	PeakBytes int64
+	Wall      time.Duration
+	// Mismatch is true when the streamed histogram differed from the
+	// single-pass reference build (must stay false).
+	Mismatch bool
+}
+
+// StreamSweep summarizes the block-size × spill identity sweep.
+type StreamSweep struct {
+	Builds     int
+	Mismatches int
+}
+
+// PR9Summary is the machine-readable bundle for the streaming-build PR,
+// serialized to BENCH_PR9.json by cmd/experiments -benchjson9. Gates:
+// PeakRatio <= MaxFlatPeakRatio while LargeFactor grows the table 10x,
+// Large.Spills > 0 (the spill path actually ran), zero mismatches anywhere.
+type PR9Summary struct {
+	Scale         float64
+	BlockSize     int
+	PartitionRows int
+	MemBudget     int64
+	LargeFactor   int
+	Small         StreamArm
+	Large         StreamArm
+	// PeakRatio is Large.PeakBytes / Small.PeakBytes — the flat-memory gate.
+	PeakRatio float64
+	Sweep     StreamSweep
+}
+
+// MaxFlatPeakRatio is the acceptance bound on PeakRatio: a 10x table may
+// move the bounded peak by partition-boundary noise, not by growth.
+const MaxFlatPeakRatio = 1.5
+
+// streamBenchTable builds a synthetic table with bounded distinct counts:
+// rows grow, domains do not.
+func streamBenchTable(rows int) (*storage.Database, error) {
+	schema := catalog.NewSchema()
+	if err := schema.AddTable(catalog.NewTable("events",
+		catalog.Column{Name: "kind", Type: catalog.Int},
+		catalog.Column{Name: "region", Type: catalog.String},
+	)); err != nil {
+		return nil, err
+	}
+	db, err := storage.NewDatabase("streambench", schema)
+	if err != nil {
+		return nil, err
+	}
+	td, err := db.Table("events")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		kind := catalog.NewInt(int64((i * 7) % 211))
+		if i%29 == 0 {
+			kind = catalog.NewNull(catalog.Int)
+		}
+		if err := td.Insert(storage.Row{
+			kind,
+			catalog.NewString(fmt.Sprintf("r%d", (i*3)%17)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// runStreamArm builds events(kind,region) once with streaming on and returns
+// the arm's counters plus the identity check against a one-shot build of the
+// same table.
+func runStreamArm(rows int) (StreamArm, error) {
+	arm := StreamArm{Rows: int64(rows)}
+	db, err := streamBenchTable(rows)
+	if err != nil {
+		return arm, err
+	}
+	cols := []string{"kind", "region"}
+	ref := stats.NewManager(db, histogram.MaxDiff, 0)
+	ref.SetObsRegistry(obs.New())
+	want, err := ref.Create("events", cols)
+	if err != nil {
+		return arm, err
+	}
+	m := stats.NewManager(db, histogram.MaxDiff, 0)
+	reg := obs.New()
+	m.SetObsRegistry(reg)
+	if err := m.SetStreamingBuild(streamBenchConfig); err != nil {
+		return arm, err
+	}
+	start := time.Now()
+	got, err := m.Create("events", cols)
+	if err != nil {
+		return arm, err
+	}
+	arm.Wall = time.Since(start)
+	arm.Blocks = reg.Counter("stats.build.blocks").Value()
+	arm.Spills = reg.Counter("stats.build.spills").Value()
+	arm.SpillBytes = reg.Counter("stats.build.spill_bytes").Value()
+	arm.PeakBytes = reg.Gauge("stats.build.mem_peak_bytes").Value()
+	arm.Mismatch = !reflect.DeepEqual(got.Data, want.Data)
+	return arm, nil
+}
+
+// runStreamSweep re-checks identity across block sizes with spilling forced
+// on and off — the bench-side mirror of the oracle sweep, so the published
+// bundle carries its own zero-mismatch evidence.
+func runStreamSweep(rows int) (StreamSweep, error) {
+	sweep := StreamSweep{}
+	db, err := streamBenchTable(rows)
+	if err != nil {
+		return sweep, err
+	}
+	cols := []string{"kind", "region"}
+	ref := stats.NewManager(db, histogram.MaxDiff, 0)
+	ref.SetObsRegistry(obs.New())
+	want, err := ref.Create("events", cols)
+	if err != nil {
+		return sweep, err
+	}
+	for _, bs := range []int{1, 7, 64, 4096} {
+		for _, budget := range []int64{0, 1} {
+			m := stats.NewManager(db, histogram.MaxDiff, 0)
+			m.SetObsRegistry(obs.New())
+			if err := m.SetStreamingBuild(stats.StreamConfig{
+				Enabled:        true,
+				BlockSize:      bs,
+				PartitionRows:  512,
+				MemBudgetBytes: budget,
+			}); err != nil {
+				return sweep, err
+			}
+			got, err := m.Create("events", cols)
+			if err != nil {
+				return sweep, err
+			}
+			sweep.Builds++
+			if !reflect.DeepEqual(got.Data, want.Data) {
+				sweep.Mismatches++
+			}
+		}
+	}
+	return sweep, nil
+}
+
+// RunPR9 gathers the streaming-build bundle: a small arm, a LargeFactor-x
+// arm, the peak-memory ratio between them, and the identity sweep.
+func RunPR9(scale float64) (*PR9Summary, error) {
+	if scale <= 0 {
+		scale = 0.5
+	}
+	smallRows := int(20_000 * scale)
+	if smallRows < 2_000 {
+		smallRows = 2_000
+	}
+	const factor = 10
+	small, err := runStreamArm(smallRows)
+	if err != nil {
+		return nil, err
+	}
+	large, err := runStreamArm(smallRows * factor)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := runStreamSweep(smallRows / 4)
+	if err != nil {
+		return nil, err
+	}
+	s := &PR9Summary{
+		Scale:         scale,
+		BlockSize:     streamBenchConfig.BlockSize,
+		PartitionRows: streamBenchConfig.PartitionRows,
+		MemBudget:     streamBenchConfig.MemBudgetBytes,
+		LargeFactor:   factor,
+		Small:         small,
+		Large:         large,
+		Sweep:         sweep,
+	}
+	if small.PeakBytes > 0 {
+		s.PeakRatio = float64(large.PeakBytes) / float64(small.PeakBytes)
+	}
+	return s, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR9Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,199 @@
+package histogram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"autostats/internal/catalog"
+)
+
+// Binary spill codec for Partial. A streaming build that exceeds its
+// memory budget writes completed partials to temp files and reloads them
+// for the final merge; the roundtrip must be EXACT — every datum field is
+// preserved bit-for-bit (float payloads via Float64bits, the tie-break
+// fields I/F/S even for types that do not use them) so a spilled-and-
+// reloaded build stays bitwise-identical to an all-in-memory one.
+
+// partialMagic guards against decoding a foreign or truncated file.
+var partialMagic = [4]byte{'A', 'S', 'P', '1'}
+
+// datumNullBit marks NULL in the datum tag byte; the low bits carry the
+// catalog.Type.
+const datumNullBit = 0x80
+
+// EncodePartial writes p in the spill format.
+func EncodePartial(w io.Writer, p *Partial) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(partialMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putDatum := func(d catalog.Datum) error {
+		tag := byte(d.T)
+		if d.Null {
+			tag |= datumNullBit
+		}
+		if err := bw.WriteByte(tag); err != nil {
+			return err
+		}
+		if err := putVarint(d.I); err != nil {
+			return err
+		}
+		var fbits [8]byte
+		binary.LittleEndian.PutUint64(fbits[:], math.Float64bits(d.F))
+		if _, err := bw.Write(fbits[:]); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(d.S))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(d.S)
+		return err
+	}
+
+	if err := putUvarint(uint64(p.cols)); err != nil {
+		return err
+	}
+	if err := putVarint(p.rows); err != nil {
+		return err
+	}
+	if err := putVarint(p.nulls); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(p.freqs))); err != nil {
+		return err
+	}
+	for _, vf := range p.freqs {
+		if err := putDatum(vf.v); err != nil {
+			return err
+		}
+		if err := putVarint(vf.f); err != nil {
+			return err
+		}
+	}
+	for _, set := range p.prefixes {
+		if err := putUvarint(uint64(len(set))); err != nil {
+			return err
+		}
+		// Map order is nondeterministic but irrelevant: decode rebuilds the
+		// set, and set equality is all the merge consumes.
+		for key := range set {
+			if err := putUvarint(uint64(len(key))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(key); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePartial reads one Partial in the spill format.
+func DecodePartial(r io.Reader) (*Partial, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("histogram: spill header: %w", err)
+	}
+	if magic != partialMagic {
+		return nil, fmt.Errorf("histogram: bad spill magic %q", magic[:])
+	}
+	getString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	getDatum := func() (catalog.Datum, error) {
+		var d catalog.Datum
+		tag, err := br.ReadByte()
+		if err != nil {
+			return d, err
+		}
+		d.T = catalog.Type(tag &^ datumNullBit)
+		d.Null = tag&datumNullBit != 0
+		if d.I, err = binary.ReadVarint(br); err != nil {
+			return d, err
+		}
+		var fbits [8]byte
+		if _, err := io.ReadFull(br, fbits[:]); err != nil {
+			return d, err
+		}
+		d.F = math.Float64frombits(binary.LittleEndian.Uint64(fbits[:]))
+		if d.S, err = getString(); err != nil {
+			return d, err
+		}
+		return d, nil
+	}
+
+	cols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("histogram: spill cols: %w", err)
+	}
+	if cols == 0 {
+		return nil, fmt.Errorf("histogram: spill partial has zero columns")
+	}
+	p := &Partial{cols: int(cols)}
+	if p.rows, err = binary.ReadVarint(br); err != nil {
+		return nil, fmt.Errorf("histogram: spill rows: %w", err)
+	}
+	if p.nulls, err = binary.ReadVarint(br); err != nil {
+		return nil, fmt.Errorf("histogram: spill nulls: %w", err)
+	}
+	nfreqs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("histogram: spill freq count: %w", err)
+	}
+	if nfreqs > 0 {
+		p.freqs = make([]valueFreq, 0, nfreqs)
+	}
+	for i := uint64(0); i < nfreqs; i++ {
+		v, err := getDatum()
+		if err != nil {
+			return nil, fmt.Errorf("histogram: spill freq %d: %w", i, err)
+		}
+		f, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("histogram: spill freq %d: %w", i, err)
+		}
+		p.freqs = append(p.freqs, valueFreq{v: v, f: f})
+	}
+	if p.cols > 1 {
+		p.prefixes = make([]map[string]struct{}, p.cols-1)
+		for k := range p.prefixes {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("histogram: spill prefix set %d: %w", k, err)
+			}
+			set := make(map[string]struct{}, n)
+			for i := uint64(0); i < n; i++ {
+				key, err := getString()
+				if err != nil {
+					return nil, fmt.Errorf("histogram: spill prefix key: %w", err)
+				}
+				set[key] = struct{}{}
+			}
+			p.prefixes[k] = set
+		}
+	}
+	return p, nil
+}

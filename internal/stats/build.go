@@ -112,6 +112,13 @@ func (m *Manager) build(ctx context.Context, table string, cols []string, met ma
 	if err != nil {
 		return nil, fmt.Errorf("stats: building %s: %w", id, err)
 	}
+	if scfg, ok := m.streamingActive(); ok {
+		// Streaming path: scan in blocks under the iterator's snapshot guard
+		// with memory bounded by one partition plus the block buffer,
+		// spilling partials past the budget. Bitwise-identical to the
+		// materialized path below.
+		return m.buildStream(ctx, td, table, cols, scfg, met)
+	}
 	par := m.BuildParallelism()
 	// One read-locked pass gathers the tuples and the delta-log watermark
 	// atomically: the returned DeltaSeq is exactly the table state the

@@ -155,6 +155,9 @@ type Manager struct {
 	// fold configures incremental (folding) maintenance (see
 	// SetIncrementalMaintenance).
 	fold FoldConfig
+	// stream configures streaming (block-at-a-time) construction (see
+	// SetStreamingBuild).
+	stream StreamConfig
 	// met caches the manager's observability handles; see managerMetrics.
 	met managerMetrics
 
@@ -205,6 +208,17 @@ type managerMetrics struct {
 	folds        *obs.Counter
 	foldRebuilds *obs.Counter
 	foldedRows   *obs.Counter
+	// Streaming-path instrumentation: streamedBuilds counts builds that
+	// scanned via the block iterator, buildBlocks the blocks they consumed,
+	// buildSpills/spillBytes the partials (and bytes) that overflowed the
+	// build-memory budget to temp files. buildMemPeak is the estimated peak
+	// build memory (builder + retained partials) of the most recent
+	// streaming build — the gauge the flat-memory benchmark gates on.
+	streamedBuilds *obs.Counter
+	buildBlocks    *obs.Counter
+	buildSpills    *obs.Counter
+	spillBytes     *obs.Counter
+	buildMemPeak   *obs.Gauge
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
@@ -228,6 +242,11 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		folds:          reg.Counter("stats.fold.applied"),
 		foldRebuilds:   reg.Counter("stats.fold.rebuilds"),
 		foldedRows:     reg.Counter("stats.fold.rows"),
+		streamedBuilds: reg.Counter("stats.build.streamed"),
+		buildBlocks:    reg.Counter("stats.build.blocks"),
+		buildSpills:    reg.Counter("stats.build.spills"),
+		spillBytes:     reg.Counter("stats.build.spill_bytes"),
+		buildMemPeak:   reg.Gauge("stats.build.mem_peak_bytes"),
 	}
 }
 

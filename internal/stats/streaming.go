@@ -1,0 +1,321 @@
+package stats
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"autostats/internal/histogram"
+	"autostats/internal/storage"
+)
+
+// Streaming (block-at-a-time) statistic construction. Instead of cloning the
+// whole projected column set in one gather, the build opens a
+// storage.BlockIter — a snapshot-guarded scan yielding fixed-size row
+// blocks — and folds each block into a histogram.PartialBuilder. A partition
+// is cut whenever it reaches PartitionRows rows or the build-memory budget
+// fills, and completed partials that no longer fit the budget spill to temp
+// files, reloaded only for the final MergePartials pass. Because partials
+// merge exactly (see internal/histogram), the result is bitwise-identical to
+// the single-pass BuildMulti at any block size, partition cut, or spill
+// pattern — the streaming differential oracle sweeps all three.
+
+// Default streaming parameters. The block size rides on
+// storage.DefaultBlockSize so the scan seam and the build agree.
+const (
+	DefaultStreamPartitionRows = 8192
+)
+
+// StreamConfig controls streaming statistic construction.
+type StreamConfig struct {
+	// Enabled routes full builds through the block iterator instead of the
+	// one-shot partitioned gather. Sampled builds (SetSampling) keep the
+	// materialized path: sampling needs the full row set.
+	Enabled bool
+	// BlockSize is the rows per scan block; <= 0 means
+	// storage.DefaultBlockSize.
+	BlockSize int
+	// PartitionRows caps the rows accumulated into one partial before it is
+	// cut; <= 0 means DefaultStreamPartitionRows. Together with the budget
+	// this bounds build memory to O(block + partition) regardless of table
+	// size.
+	PartitionRows int
+	// MemBudgetBytes bounds the estimated bytes retained by the build
+	// (current partition builder + completed in-memory partials). When the
+	// budget fills, the current partition is cut early and completed
+	// partials spill to temp files. <= 0 means unbounded (never spill).
+	MemBudgetBytes int64
+	// SpillDir is where spill temp files go; "" means os.TempDir().
+	SpillDir string
+}
+
+// SetStreamingBuild configures streaming construction for subsequent builds.
+func (m *Manager) SetStreamingBuild(cfg StreamConfig) error {
+	if cfg.BlockSize < 0 || cfg.PartitionRows < 0 || cfg.MemBudgetBytes < 0 {
+		return fmt.Errorf("stats: negative streaming parameter %+v", cfg)
+	}
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	m.stream = cfg
+	return nil
+}
+
+// StreamingBuild returns the active streaming configuration.
+func (m *Manager) StreamingBuild() StreamConfig {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	return m.stream
+}
+
+// partialSlot is one completed partition in build order: either retained in
+// memory (p non-nil) or spilled to path.
+type partialSlot struct {
+	p    *Partial
+	path string
+}
+
+// Partial aliases histogram.Partial for the slot struct above without
+// leaking the histogram package into every signature.
+type Partial = histogram.Partial
+
+// spillSet owns the temp files of one streaming build. Methods are called by
+// a single goroutine (the build); cleanup is idempotent and must run on
+// every exit path — the leak oracle counts files left behind.
+type spillSet struct {
+	dir   string
+	paths []string
+}
+
+// write encodes p into a fresh temp file and returns its path and size. IO
+// failures are classified Transient — the build aborts but is retryable; a
+// failed file is removed immediately.
+func (ss *spillSet) write(ctx context.Context, fp Failpoint, id ID, p *Partial) (string, int64, error) {
+	if fp != nil {
+		if err := fp(ctx, "spill-write", id); err != nil {
+			return "", 0, Transient(fmt.Errorf("stats: spill write for %s vetoed: %w", id, err))
+		}
+	}
+	f, err := os.CreateTemp(ss.dir, "autostats-spill-*.partial")
+	if err != nil {
+		return "", 0, Transient(fmt.Errorf("stats: spill create for %s: %w", id, err))
+	}
+	path := f.Name()
+	if err := histogram.EncodePartial(f, p); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", 0, Transient(fmt.Errorf("stats: spill encode for %s: %w", id, err))
+	}
+	info, statErr := f.Stat()
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", 0, Transient(fmt.Errorf("stats: spill close for %s: %w", id, err))
+	}
+	var size int64
+	if statErr == nil {
+		size = info.Size()
+	}
+	ss.paths = append(ss.paths, path)
+	return path, size, nil
+}
+
+// read reloads one spilled partial for the merge pass.
+func (ss *spillSet) read(ctx context.Context, fp Failpoint, id ID, path string) (*Partial, error) {
+	if fp != nil {
+		if err := fp(ctx, "spill-read", id); err != nil {
+			return nil, Transient(fmt.Errorf("stats: spill read for %s vetoed: %w", id, err))
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Transient(fmt.Errorf("stats: spill open for %s: %w", id, err))
+	}
+	defer f.Close()
+	p, err := histogram.DecodePartial(f)
+	if err != nil {
+		return nil, Transient(fmt.Errorf("stats: spill decode for %s: %w", id, err))
+	}
+	return p, nil
+}
+
+// cleanup removes every spill file. Idempotent; errors are ignored (the
+// files live in a temp dir and a failed remove cannot corrupt statistics
+// state).
+func (ss *spillSet) cleanup() {
+	for _, p := range ss.paths {
+		os.Remove(p)
+	}
+	ss.paths = nil
+}
+
+// buildStreaming is the streaming counterpart of the gather step in build():
+// it scans the table block by block under the iterator's snapshot guard and
+// returns the merged histogram plus the snapshot's delta watermark and live
+// row count. Cancellation and the failpoint are checked between blocks; on
+// every exit path the iterator is closed and spill files are removed, so an
+// aborted build leaks neither a snapshot guard nor temp files.
+//
+// While the iterator is open the table's read lock is held by this
+// goroutine: nothing in the loop (including the "block" failpoint, which
+// fault tests use to cancel mid-stream) may call back into the table or the
+// manager. The iterator is closed before the merge pass, keeping the
+// writer-blocking window proportional to the scan alone.
+func (m *Manager) buildStreaming(ctx context.Context, td *storage.TableData, id ID, cols []string, cfg StreamConfig, met managerMetrics) (*histogram.MultiColumn, int64, int64, error) {
+	partRows := cfg.PartitionRows
+	if partRows <= 0 {
+		partRows = DefaultStreamPartitionRows
+	}
+	fp := m.failpointFn()
+	ss := &spillSet{dir: cfg.SpillDir}
+	defer ss.cleanup()
+
+	builder, err := histogram.NewPartialBuilder(cols)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	it, err := td.OpenBlockIter(cols, cfg.BlockSize)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	seq, liveRows := it.Seq(), int64(it.LiveRows())
+
+	var (
+		slots      []partialSlot
+		inMemBytes int64 // estimated bytes of retained (non-spilled) partials
+		peakBytes  int64 // high-water mark of builder + retained partials
+		blocks     int64
+		spills     int64
+		spillBytes int64
+	)
+	cut := func() error {
+		p := builder.Finish()
+		if cfg.MemBudgetBytes > 0 && inMemBytes+p.MemBytes() > cfg.MemBudgetBytes {
+			path, n, err := ss.write(ctx, fp, id, p)
+			if err != nil {
+				return err
+			}
+			spills++
+			spillBytes += n
+			slots = append(slots, partialSlot{path: path})
+			return nil
+		}
+		inMemBytes += p.MemBytes()
+		slots = append(slots, partialSlot{p: p})
+		return nil
+	}
+	scan := func() error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			block, ok := it.Next()
+			if !ok {
+				break
+			}
+			blocks++
+			if fp != nil {
+				if err := fp(ctx, "block", id); err != nil {
+					return err
+				}
+			}
+			if err := builder.AddBlock(block); err != nil {
+				return err
+			}
+			if cur := inMemBytes + builder.MemBytes(); cur > peakBytes {
+				peakBytes = cur
+			}
+			// Cut the partition at the row cap, or early when the budget
+			// fills — partition boundaries are arbitrary, the merge is exact
+			// at any cut.
+			if builder.Rows() >= int64(partRows) ||
+				(cfg.MemBudgetBytes > 0 && inMemBytes+builder.MemBytes() >= cfg.MemBudgetBytes) {
+				if err := cut(); err != nil {
+					return err
+				}
+			}
+		}
+		if builder.Rows() > 0 || len(slots) == 0 {
+			return cut()
+		}
+		return nil
+	}
+	err = scan()
+	// Release the snapshot guard before the merge pass: spilled partials are
+	// reloaded and merged without blocking writers.
+	it.Close()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+
+	parts := make([]*Partial, len(slots))
+	for i, slot := range slots {
+		if slot.p != nil {
+			parts[i] = slot.p
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, fmt.Errorf("stats: building %s: %w", id, err)
+		}
+		p, err := ss.read(ctx, fp, id, slot.path)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("stats: building %s: %w", id, err)
+		}
+		parts[i] = p
+	}
+	mc, err := histogram.MergePartials(m.kind, cols, parts, m.maxBuckets)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("stats: building %s: %w", id, err)
+	}
+
+	met.streamedBuilds.Inc()
+	met.buildBlocks.Add(blocks)
+	if spills > 0 {
+		met.buildSpills.Add(spills)
+		met.spillBytes.Add(spillBytes)
+	}
+	if len(parts) > 1 {
+		met.partialsMerged.Add(int64(len(parts)))
+	}
+	met.buildMemPeak.Set(peakBytes)
+	return mc, seq, liveRows, nil
+}
+
+// streamingActive reports whether the next build should stream: streaming is
+// enabled and sampling is not (a sampled build needs the materialized row
+// set, and its histogram is scaled — the existing path handles both).
+func (m *Manager) streamingActive() (StreamConfig, bool) {
+	m.cfgMu.RLock()
+	defer m.cfgMu.RUnlock()
+	if !m.stream.Enabled {
+		return StreamConfig{}, false
+	}
+	if m.sampling.Fraction > 0 && m.sampling.Fraction < 1 {
+		return StreamConfig{}, false
+	}
+	return m.stream, true
+}
+
+// buildStream assembles the full Statistic from a streaming scan; the
+// counterpart of the tail of build() for the materialized path.
+func (m *Manager) buildStream(ctx context.Context, td *storage.TableData, table string, cols []string, cfg StreamConfig, met managerMetrics) (*Statistic, error) {
+	id := MakeID(table, cols)
+	start := time.Now()
+	mc, seq, rows, err := m.buildStreaming(ctx, td, id, cols, cfg, met)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	met.fullScans.Inc()
+	now := m.clock.Add(1)
+	return &Statistic{
+		ID:        id,
+		Table:     id.Table(),
+		Columns:   lowerAll(cols),
+		Data:      mc,
+		BuildCost: histogram.BuildCostUnits(rows, len(cols)),
+		BuildTime: elapsed,
+		CreatedAt: now,
+		UpdatedAt: now,
+		DeltaSeq:  seq,
+	}, nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autostats/internal/catalog"
 )
@@ -44,6 +45,19 @@ type TableData struct {
 	deltaCap  int
 	deltaBase int64 // sequence number of deltas[0]
 	deltas    []DeltaRec
+
+	// openSnapshots counts live BlockIter snapshot guards on this table.
+	// It exists for leak detection: a streaming statistics build that exits
+	// on any path — success, error, cancellation — must bring it back to
+	// zero. Atomic, not mu-guarded, so leak checks need no lock.
+	openSnapshots atomic.Int64
+}
+
+// OpenSnapshots returns the number of currently open BlockIter snapshot
+// guards — zero whenever no streaming scan is in flight. Tests use it to
+// prove cancelled builds release their snapshots.
+func (t *TableData) OpenSnapshots() int64 {
+	return t.openSnapshots.Load()
 }
 
 // DeltaRec is one logged row modification: Del marks a deletion, otherwise an
