@@ -27,6 +27,7 @@
 package autostats
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -228,6 +229,46 @@ func (s *System) Exec(sql string) (*QueryResult, error) {
 	return &QueryResult{ExecCost: res.Cost, Affected: res.Affected}, nil
 }
 
+// ExecCtx is Exec honoring ctx at phase boundaries: a canceled or expired
+// context stops the statement before parse, before optimization and before
+// execution. Phases already under way run to completion — the storage layer's
+// per-table critical sections are short — so cancellation never leaves a
+// half-applied statement. This is the deadline hook the stats-as-a-service
+// server uses for its per-request timeouts.
+func (s *System) ExecCtx(ctx context.Context, sql string) (*QueryResult, error) {
+	stmt, err := sqlparser.Parse(s.db.Schema, sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sess := s.sessions.get()
+	defer s.sessions.put(sess)
+	if q, ok := stmt.(*query.Select); ok {
+		plan, err := sess.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := s.ex.Run(plan)
+		if err != nil {
+			return nil, err
+		}
+		return renderResult(res, plan), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := s.ex.RunStatement(sess, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{ExecCost: res.Cost, Affected: res.Affected}, nil
+}
+
 func renderResult(res *executor.Result, plan *optimizer.Plan) *QueryResult {
 	cols := make([]string, len(res.Cols))
 	for name, pos := range res.Cols {
@@ -257,6 +298,24 @@ func renderResult(res *executor.Result, plan *optimizer.Plan) *QueryResult {
 func (s *System) Explain(sql string) (string, error) {
 	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
 	if err != nil {
+		return "", err
+	}
+	sess := s.sessions.get()
+	defer s.sessions.put(sess)
+	plan, err := sess.Optimize(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(), nil
+}
+
+// ExplainCtx is Explain honoring ctx at phase boundaries (see ExecCtx).
+func (s *System) ExplainCtx(ctx context.Context, sql string) (string, error) {
+	q, err := sqlparser.ParseSelect(s.db.Schema, sql)
+	if err != nil {
+		return "", err
+	}
+	if err := ctx.Err(); err != nil {
 		return "", err
 	}
 	sess := s.sessions.get()

@@ -33,6 +33,13 @@ import (
 // ErrClosed reports a call on a client after Close.
 var ErrClosed = errors.New("client: closed")
 
+// ErrConnLost reports that the connection died while the request was in
+// flight. The server may or may not have executed it — callers decide
+// whether to retry based on the operation's idempotence. The client itself
+// only ever auto-retries read-only calls (Explain, Stats, Metrics); Exec,
+// Tune, and Maintain are never silently replayed.
+var ErrConnLost = errors.New("client: connection lost with request in flight")
+
 // Options configures Dial. The zero value works against a default server.
 type Options struct {
 	// Tenant is announced in the hello handshake and becomes the default
@@ -41,6 +48,15 @@ type Options struct {
 	Tenant string
 	// DialTimeout bounds each TCP connect attempt (default 5s).
 	DialTimeout time.Duration
+	// HelloTimeout bounds the synchronous hello handshake that follows the
+	// TCP connect (default: DialTimeout). It is what keeps Dial from hanging
+	// against a listener that accepts connections but never reads — a wedged
+	// or half-dead server fails Dial within the timeout instead of blocking
+	// the caller indefinitely.
+	HelloTimeout time.Duration
+	// RequestTimeout, when > 0, bounds every call whose context carries no
+	// deadline of its own. A caller-supplied deadline always wins.
+	RequestTimeout time.Duration
 	// MaxFrame caps frames in both directions (default protocol.DefaultMaxFrame).
 	MaxFrame int
 	// Retry is the redial backoff policy; its MaxAttempts bounds connect
@@ -52,6 +68,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = o.DialTimeout
 	}
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = protocol.DefaultMaxFrame
@@ -167,10 +186,11 @@ func (c *Client) dialOnce(ctx context.Context) (*liveConn, *protocol.HelloResult
 		dead:    make(chan struct{}),
 	}
 	// Synchronous hello before the reader starts: a version-mismatched or
-	// impostor server fails Dial, not the first real call.
+	// impostor server fails Dial, not the first real call. The deadline is
+	// what bounds the handshake against an accept-and-stall listener.
 	hreq := &protocol.Request{ID: c.nextID.Add(1), Op: protocol.OpHello,
 		Version: protocol.Version, Tenant: c.opts.Tenant}
-	nc.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	nc.SetDeadline(time.Now().Add(c.opts.HelloTimeout))
 	if err := protocol.WriteFrame(nc, hreq, c.opts.MaxFrame); err != nil {
 		nc.Close()
 		return nil, nil, fmt.Errorf("hello: %w", err)
@@ -266,6 +286,13 @@ func (c *Client) getConn(ctx context.Context) (*liveConn, error) {
 
 // do performs one pipelined round trip.
 func (c *Client) do(ctx context.Context, req *protocol.Request) (*protocol.Response, error) {
+	if c.opts.RequestTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+			defer cancel()
+		}
+	}
 	lc, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
@@ -282,7 +309,9 @@ func (c *Client) do(ctx context.Context, req *protocol.Request) (*protocol.Respo
 	if werr != nil {
 		lc.unregister(req.ID)
 		lc.fail(fmt.Errorf("client: write: %w", werr))
-		return nil, fmt.Errorf("client: write: %w", werr)
+		// A failed write may still have put bytes on the wire; classify it as
+		// in-flight loss so retry policy stays conservative.
+		return nil, fmt.Errorf("%w: write: %v", ErrConnLost, werr)
 	}
 
 	select {
@@ -303,14 +332,36 @@ func (c *Client) do(ctx context.Context, req *protocol.Request) (*protocol.Respo
 		default:
 		}
 		lc.unregister(req.ID)
-		return nil, lc.deadErr()
+		derr := lc.deadErr()
+		if errors.Is(derr, ErrClosed) {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, derr)
 	case <-ctx.Done():
 		lc.unregister(req.ID)
 		return nil, ctx.Err()
 	}
 }
 
+// doIdempotent is do plus one transparent retry on a fresh connection when
+// the first attempt dies mid-flight. Only read-only operations (Explain,
+// Stats, Metrics) route through here: re-running them changes nothing on
+// the server, so replaying after an ambiguous failure is safe. Mutating
+// operations call do directly and surface ErrConnLost to the caller.
+func (c *Client) doIdempotent(ctx context.Context, req *protocol.Request) (*protocol.Response, error) {
+	resp, err := c.do(ctx, req)
+	if err == nil || !errors.Is(err, ErrConnLost) || c.closed.Load() {
+		return resp, err
+	}
+	if ctx.Err() != nil {
+		return nil, err
+	}
+	return c.do(ctx, req)
+}
+
 // Exec runs one SQL statement (query or DML) on the client's tenant.
+// Never auto-retried: a connection lost mid-flight fails with ErrConnLost
+// and the caller decides whether re-running the statement is safe.
 func (c *Client) Exec(ctx context.Context, sql string) (*protocol.ExecResult, error) {
 	resp, err := c.do(ctx, &protocol.Request{Op: protocol.OpExec, SQL: sql})
 	if err != nil {
@@ -323,8 +374,10 @@ func (c *Client) Exec(ctx context.Context, sql string) (*protocol.ExecResult, er
 }
 
 // Explain optimizes one SELECT and returns the pretty-printed plan.
+// Read-only: retried once on a fresh connection if the first attempt is
+// lost mid-flight.
 func (c *Client) Explain(ctx context.Context, sql string) (string, error) {
-	resp, err := c.do(ctx, &protocol.Request{Op: protocol.OpExplain, SQL: sql})
+	resp, err := c.doIdempotent(ctx, &protocol.Request{Op: protocol.OpExplain, SQL: sql})
 	if err != nil {
 		return "", err
 	}
@@ -343,9 +396,10 @@ func (c *Client) Tune(ctx context.Context, sqls []string, opts *protocol.TunePar
 	return resp.Tune, nil
 }
 
-// Stats lists the tenant's statistics.
+// Stats lists the tenant's statistics. Read-only: retried once on a fresh
+// connection if the first attempt is lost mid-flight.
 func (c *Client) Stats(ctx context.Context) ([]protocol.StatRow, error) {
-	resp, err := c.do(ctx, &protocol.Request{Op: protocol.OpStats})
+	resp, err := c.doIdempotent(ctx, &protocol.Request{Op: protocol.OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -364,9 +418,10 @@ func (c *Client) Maintain(ctx context.Context) (*protocol.MaintResult, error) {
 	return resp.Maintain, nil
 }
 
-// Metrics fetches the server's metric registry as text lines.
+// Metrics fetches the server's metric registry as text lines. Read-only:
+// retried once on a fresh connection if the first attempt is lost mid-flight.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	resp, err := c.do(ctx, &protocol.Request{Op: protocol.OpMetrics})
+	resp, err := c.doIdempotent(ctx, &protocol.Request{Op: protocol.OpMetrics})
 	if err != nil {
 		return "", err
 	}

@@ -1,16 +1,20 @@
 package client_test
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"autostats"
 	"autostats/client"
 	"autostats/internal/protocol"
+	"autostats/internal/resilience"
 	"autostats/internal/server"
 )
 
@@ -237,5 +241,176 @@ func TestClientDialFailure(t *testing.T) {
 		Tenant: "x", DialTimeout: 200 * time.Millisecond})
 	if err == nil {
 		t.Fatal("Dial to a dead port succeeded")
+	}
+}
+
+// TestClientDialHelloTimeout is the regression test for Dial hanging against
+// a listener that accepts the TCP connection but never reads: the
+// synchronous hello must fail within HelloTimeout, not block forever.
+func TestClientDialHelloTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Accept and stall: never read, never write.
+			mu.Lock()
+			conns = append(conns, nc)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, nc := range conns {
+			nc.Close()
+		}
+	}()
+
+	start := time.Now()
+	_, err = client.Dial(ln.Addr().String(), client.Options{
+		Tenant:       "stall",
+		HelloTimeout: 150 * time.Millisecond,
+		Retry:        resilience.Retry{MaxAttempts: 1},
+	})
+	if err == nil {
+		t.Fatal("Dial against an accept-and-stall listener succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial blocked %v against a wedged listener", elapsed)
+	}
+}
+
+// fakeStatsServer speaks just enough of the wire protocol for fault-injection
+// tests: it answers hellos itself and hands every other request to handle,
+// which may respond, stay silent, or kill the connection.
+func fakeStatsServer(t *testing.T, handle func(nc net.Conn, req *protocol.Request)) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					req, err := protocol.ReadRequest(br, protocol.DefaultMaxFrame)
+					if err != nil {
+						return
+					}
+					if req.Op == protocol.OpHello {
+						protocol.WriteFrame(nc, &protocol.Response{ID: req.ID,
+							Hello: &protocol.HelloResult{Version: protocol.Version, Tenant: req.Tenant},
+						}, protocol.DefaultMaxFrame)
+						continue
+					}
+					handle(nc, req)
+				}
+			}(nc)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestClientConnLostTypedAndExecNotReplayed checks both halves of the
+// disconnect contract: an in-flight request fails with the typed ErrConnLost
+// when the server vanishes mid-request, and a non-idempotent Exec is never
+// silently replayed on the reconnect.
+func TestClientConnLostTypedAndExecNotReplayed(t *testing.T) {
+	var execs atomic.Int64
+	ln := fakeStatsServer(t, func(nc net.Conn, req *protocol.Request) {
+		if req.Op == protocol.OpExec {
+			execs.Add(1)
+			nc.Close() // die mid-request, no response
+		}
+	})
+	c, err := client.Dial(ln.Addr().String(), client.Options{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Exec(context.Background(), "SELECT 1")
+	if !errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("err = %v, want ErrConnLost", err)
+	}
+	// Any erroneous replay would redial and resend; give it a moment to land.
+	time.Sleep(100 * time.Millisecond)
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("exec reached the server %d times; a lost connection must never replay it", n)
+	}
+}
+
+// TestClientIdempotentRetriedAfterConnLoss checks that a read-only call lost
+// mid-flight is transparently retried once on a fresh connection.
+func TestClientIdempotentRetriedAfterConnLoss(t *testing.T) {
+	var statsCalls atomic.Int64
+	ln := fakeStatsServer(t, func(nc net.Conn, req *protocol.Request) {
+		if req.Op != protocol.OpStats {
+			return
+		}
+		if statsCalls.Add(1) == 1 {
+			nc.Close() // first attempt dies mid-flight
+			return
+		}
+		protocol.WriteFrame(nc, &protocol.Response{ID: req.ID,
+			Stats: []protocol.StatRow{{Table: "orders", Columns: []string{"o_orderkey"}}},
+		}, protocol.DefaultMaxFrame)
+	})
+	c, err := client.Dial(ln.Addr().String(), client.Options{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("idempotent stats not retried: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("stats rows = %d, want 1", len(rows))
+	}
+	if n := statsCalls.Load(); n != 2 {
+		t.Fatalf("stats attempts = %d, want 2 (original + one retry)", n)
+	}
+}
+
+// TestClientRequestTimeout checks that Options.RequestTimeout bounds calls
+// whose contexts carry no deadline of their own.
+func TestClientRequestTimeout(t *testing.T) {
+	ln := fakeStatsServer(t, func(nc net.Conn, req *protocol.Request) {
+		// Swallow the request: never respond, keep the connection open.
+	})
+	c, err := client.Dial(ln.Addr().String(), client.Options{
+		Tenant: "t", RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Exec(context.Background(), "SELECT 1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("call blocked %v with a 150ms request timeout", elapsed)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +47,16 @@ var (
 	resilienceOn = flag.Bool("resilience", true, "enable the resilience layer per tenant")
 	buildMem     = flag.Int64("build-mem-budget", 0, "per-tenant streaming-build memory budget in bytes (0 disables streaming builds)")
 	blockSize    = flag.Int("block-size", 0, "rows per scan block for streaming builds (0 = default; needs -build-mem-budget)")
-	metricsAddr  = flag.String("metrics-addr", "", "optional HTTP address serving the metrics registry (text, or ?format=json)")
+	metricsAddr  = flag.String("metrics-addr", "", "optional HTTP address serving the metrics registry (text, or ?format=json) plus /healthz and /readyz probes")
 	drainTO      = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	readTO       = flag.Duration("read-timeout", 0, "per-connection read/idle deadline; silent and half-open connections are evicted after this long (0 = server default 2m, <0 disables)")
+	writeTO      = flag.Duration("write-timeout", 0, "per-response write deadline; a client stalling the TCP window longer is evicted (0 = server default 30s, <0 disables)")
+	requestTO    = flag.Duration("request-timeout", 0, "server-side deadline per request once a worker picks it up; exceeding it fails typed with the timeout code (0 = unbounded)")
+	tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant request quota in req/s; tenants over it are rejected with the rate_limited code (0 disables)")
+	tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant quota burst (0 = one second of -tenant-rps)")
+	maxInflight  = flag.Int("max-inflight-per-conn", 0, "max requests one connection may have in flight; excess fast-fails overloaded (0 = server default 256, <0 disables)")
+	waitReady    = flag.Bool("wait-ready", false, "do not serve: poll http://<-metrics-addr>/readyz of an already-running daemon until it reports ready, then exit (0 ready, 1 not ready in time) — for scripts that start the daemon in the background")
+	waitTO       = flag.Duration("wait-timeout", 30*time.Second, "give up on -wait-ready after this long")
 	verbose      = flag.Bool("verbose", false, "log per-lifecycle-event detail")
 )
 
@@ -61,6 +70,10 @@ func main() {
 
 func run() error {
 	logger := log.New(os.Stderr, "autostatsd: ", log.LstdFlags)
+
+	if *waitReady {
+		return waitForReady(*metricsAddr, *waitTO)
+	}
 
 	newTenant := func(name string) (*autostats.System, error) {
 		start := time.Now()
@@ -93,26 +106,32 @@ func run() error {
 	}
 
 	srv, err := server.New(server.Config{
-		Addr:          *addr,
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		MaxFrame:      *maxFrame,
-		MaxTenants:    *maxTenants,
-		TenantIdleTTL: *tenantTTL,
-		NewTenant:     newTenant,
-		Logf:          logger.Printf,
+		Addr:               *addr,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxFrame:           *maxFrame,
+		MaxTenants:         *maxTenants,
+		TenantIdleTTL:      *tenantTTL,
+		ReadTimeout:        *readTO,
+		WriteTimeout:       *writeTO,
+		RequestTimeout:     *requestTO,
+		TenantRPS:          *tenantRPS,
+		TenantBurst:        *tenantBurst,
+		MaxInflightPerConn: *maxInflight,
+		NewTenant:          newTenant,
+		Logf:               logger.Printf,
 	})
 	if err != nil {
 		return err
 	}
 
 	if *metricsAddr != "" {
-		bound, stop, err := server.ServeMetrics(*metricsAddr, srv.Obs())
+		bound, stop, err := server.ServeOps(*metricsAddr, srv.Obs(), srv.Ready)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer stop()
-		logger.Printf("metrics on http://%s/", bound)
+		logger.Printf("metrics on http://%s/ (probes: /healthz, /readyz)", bound)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,4 +156,32 @@ func run() error {
 	logger.Printf("clean shutdown: admitted=%d completed=%d rejected_overload=%d rejected_draining=%d",
 		rep.Admitted, rep.Completed, rep.RejectedOverload, rep.RejectedDraining)
 	return nil
+}
+
+// waitForReady polls the running daemon's /readyz until it answers 200 or
+// the timeout passes. It replaces ad-hoc "sleep and hope" startup gating in
+// scripts: start autostatsd in the background with -metrics-addr, then run
+// `autostatsd -wait-ready -metrics-addr <same>` before pointing load at it.
+func waitForReady(metricsAddr string, timeout time.Duration) error {
+	if metricsAddr == "" {
+		return fmt.Errorf("-wait-ready needs -metrics-addr to know where /readyz lives")
+	}
+	url := fmt.Sprintf("http://%s/readyz", metricsAddr)
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	var lastErr error = fmt.Errorf("never polled")
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("not ready after %v: %w", timeout, lastErr)
 }

@@ -8,6 +8,7 @@
 //	.auto on|off           toggle on-the-fly mode (MNSA before every SELECT)
 //	.maintenance           run the update/drop maintenance policy once
 //	.breakers              show circuit breaker states (resilience mode)
+//	.health <addr>         probe a daemon's /healthz and /readyz probes
 //	.help                  command summary
 //	.quit                  exit
 //
@@ -29,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"autostats"
 )
@@ -220,6 +223,7 @@ func dotCommand(ctx context.Context, sys *autostats.System, out io.Writer, line 
   .auto on|off       toggle on-the-fly statistics management
   .maintenance       run the maintenance policy once
   .breakers          show circuit breaker states (resilience mode)
+  .health <addr>     probe a daemon's /healthz and /readyz at its metrics address
   .quit              exit
 `)
 	case ".stats":
@@ -257,6 +261,12 @@ func dotCommand(ctx context.Context, sys *autostats.System, out io.Writer, line 
 			fmt.Fprintf(out, "degraded pass: %d tables skipped (breaker open), %d refresh failures\n",
 				rep.TablesSkipped, len(rep.RefreshFailures))
 		}
+	case ".health":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .health <daemon-metrics-addr>   (e.g. .health 127.0.0.1:7745)")
+			break
+		}
+		probeHealth(out, fields[1])
 	case ".breakers":
 		if !sys.ResilienceEnabled() {
 			fmt.Fprintln(out, "resilience layer is off (start with -retries >= 0)")
@@ -273,4 +283,24 @@ func dotCommand(ctx context.Context, sys *autostats.System, out io.Writer, line 
 		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
 	}
 	return false
+}
+
+// probeHealth hits a running autostatsd's ops endpoints (-metrics-addr) and
+// reports liveness and readiness — the shell-side view of the daemon's
+// /healthz and /readyz probes.
+func probeHealth(out io.Writer, addr string) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, probe := range []string{"healthz", "readyz"} {
+		resp, err := client.Get(fmt.Sprintf("http://%s/%s", addr, probe))
+		if err != nil {
+			fmt.Fprintf(out, "%-8s unreachable: %v\n", probe, err)
+			continue
+		}
+		resp.Body.Close()
+		status := "ok"
+		if resp.StatusCode != http.StatusOK {
+			status = "NOT ok"
+		}
+		fmt.Fprintf(out, "%-8s %s (HTTP %d)\n", probe, status, resp.StatusCode)
+	}
 }

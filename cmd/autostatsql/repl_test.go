@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"autostats"
+	"autostats/internal/obs"
+	"autostats/internal/server"
 )
 
 func testSys(t *testing.T) *autostats.System {
@@ -102,4 +106,35 @@ func TestREPLErrorsAndUnknown(t *testing.T) {
 // TestREPLEOFExitsCleanly: no .quit — EOF must end the loop without error.
 func TestREPLEOFExitsCleanly(t *testing.T) {
 	_ = drive(t, "SELECT COUNT(*) FROM region\n")
+}
+
+// TestREPLHealthProbe: .health reports the daemon's liveness/readiness view,
+// flips when readiness does, and degrades to "unreachable" when nothing
+// listens at the address.
+func TestREPLHealthProbe(t *testing.T) {
+	ready := atomic.Bool{}
+	ready.Store(true)
+	ts := httptest.NewServer(server.OpsHandler(obs.New(), ready.Load))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	out := drive(t, ".health\n.health "+addr+"\n.quit\n")
+	if !strings.Contains(out, "usage: .health") {
+		t.Errorf(".health without an address should print usage:\n%s", out)
+	}
+	if !strings.Contains(out, "healthz  ok") || !strings.Contains(out, "readyz   ok") {
+		t.Errorf("probes against a ready daemon should both be ok:\n%s", out)
+	}
+
+	ready.Store(false)
+	out = drive(t, ".health "+addr+"\n.quit\n")
+	if !strings.Contains(out, "healthz  ok") || !strings.Contains(out, "readyz   NOT ok") {
+		t.Errorf("draining daemon must stay live but report not ready:\n%s", out)
+	}
+
+	ts.Close()
+	out = drive(t, ".health "+addr+"\n.quit\n")
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("probing a dead address should report unreachable:\n%s", out)
+	}
 }

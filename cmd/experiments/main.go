@@ -35,26 +35,27 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|feedback|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
-		parallel  = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
-		feedback  = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
-		benchOut  = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
-		bench6Out = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
-		bench7Out = flag.String("benchjson7", "", "write the PR-7 parallel-build bundle as JSON to this path (e.g. BENCH_PR7.json); fails if the 4-partition build speedup is <= 1x or any merged statistic differs from the single-pass build")
-		bench8Out = flag.String("benchjson8", "", "write the PR-8 stats-as-a-service bundle as JSON to this path (e.g. BENCH_PR8.json); fails on any swarm protocol error, a missing overload fast-fail, or a dropped request during drain")
-		bench9Out = flag.String("benchjson9", "", "write the PR-9 streaming-build bundle as JSON to this path (e.g. BENCH_PR9.json); fails if peak build memory is not flat across a 10x table growth, the spill path never ran, or any streamed histogram differs from its single-pass reference")
-		swarmN    = flag.Int("swarm-sessions", 1000, "concurrent client sessions for -benchjson8 / -swarm-addr")
-		swarmTen  = flag.Int("swarm-tenants", 8, "tenants for -benchjson8 / -swarm-addr")
-		swarmAddr = flag.String("swarm-addr", "", "run the client swarm against an EXTERNAL autostatsd at this address (instead of an in-process server) and exit")
-		scale     = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
-		seed      = flag.Int64("seed", 1, "workload generator seed")
-		wl        = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
-		dbs       = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
-		introDB   = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
-		introScl  = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
-		metrics   = flag.Bool("metrics", false, "dump the observability counters after the experiments")
-		traceTo   = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
-		timeout   = flag.Duration("timeout", 0, "abort the experiments after this long (0 = no deadline)")
+		exp        = flag.String("exp", "all", "experiment: intro|fig3|fig4|fig4sc|table1|parallel|feedback|ablation-t|ablation-eps|ablation-next|ablation-cov|ablation-hist|ablation-sample|all")
+		parallel   = flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+		feedback   = flag.Bool("feedback", false, "also run the execution-feedback experiment (in addition to -exp)")
+		benchOut   = flag.String("benchjson", "", "write the PR-3 benchmark bundle as JSON to this path (e.g. BENCH_PR3.json)")
+		bench6Out  = flag.String("benchjson6", "", "write the PR-6 plan-cache bundle as JSON to this path (e.g. BENCH_PR6.json); fails if the repeated-template hit rate is 0")
+		bench7Out  = flag.String("benchjson7", "", "write the PR-7 parallel-build bundle as JSON to this path (e.g. BENCH_PR7.json); fails if the 4-partition build speedup is <= 1x or any merged statistic differs from the single-pass build")
+		bench8Out  = flag.String("benchjson8", "", "write the PR-8 stats-as-a-service bundle as JSON to this path (e.g. BENCH_PR8.json); fails on any swarm protocol error, a missing overload fast-fail, or a dropped request during drain")
+		bench9Out  = flag.String("benchjson9", "", "write the PR-9 streaming-build bundle as JSON to this path (e.g. BENCH_PR9.json); fails if peak build memory is not flat across a 10x table growth, the spill path never ran, or any streamed histogram differs from its single-pass reference")
+		bench10Out = flag.String("benchjson10", "", "write the PR-10 network-robustness bundle as JSON to this path (e.g. BENCH_PR10.json); runs the full swarm through the 10ms/1% chaos proxy and fails on any hang, leaked goroutine, or dropped request during drain")
+		swarmN     = flag.Int("swarm-sessions", 1000, "concurrent client sessions for -benchjson8 / -swarm-addr")
+		swarmTen   = flag.Int("swarm-tenants", 8, "tenants for -benchjson8 / -swarm-addr")
+		swarmAddr  = flag.String("swarm-addr", "", "run the client swarm against an EXTERNAL autostatsd at this address (instead of an in-process server) and exit")
+		scale      = flag.Float64("scale", 0.5, "database scale factor (1.0 ≈ 8.7k rows)")
+		seed       = flag.Int64("seed", 1, "workload generator seed")
+		wl         = flag.String("workload", "", "workload name (default depends on experiment, e.g. U25-C-100 for table1)")
+		dbs        = flag.String("dbs", strings.Join(datagen.DatabaseNames(), ","), "comma-separated database list")
+		introDB    = flag.String("intro-db", "TPCD_2", "database for the intro experiment")
+		introScl   = flag.Float64("intro-scale", 1.0, "scale for the intro experiment")
+		metrics    = flag.Bool("metrics", false, "dump the observability counters after the experiments")
+		traceTo    = flag.String("trace", "", "write a JSONL span trace of the experiments to this file")
+		timeout    = flag.Duration("timeout", 0, "abort the experiments after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -160,6 +161,14 @@ func main() {
 			runErr = fmt.Errorf("benchjson9: %w", err)
 		} else {
 			fmt.Printf("benchmark bundle written to %s\n", *bench9Out)
+		}
+	}
+
+	if *bench10Out != "" && runErr == nil {
+		if err := writeBench10JSON(*bench10Out, *scale, *swarmN, *swarmTen); err != nil {
+			runErr = fmt.Errorf("benchjson10: %w", err)
+		} else {
+			fmt.Printf("benchmark bundle written to %s\n", *bench10Out)
 		}
 	}
 
@@ -458,6 +467,34 @@ func writeBench8JSON(path string, scale float64, sessions, tenants int) error {
 		s.Drain.InFlight, s.Drain.Admitted, s.Drain.Completed, s.Drain.Dropped, s.Drain.Forced)
 	// RunPR8 itself enforces the gates (zero swarm failures, ErrOverloaded
 	// fast-fails, zero dropped on drain); reaching here means they passed.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeBench10JSON runs the PR-10 network-robustness bundle: the full swarm
+// through the 10ms/1% fault proxy with quotas, deadlines, and slow-client
+// defense live. RunPR10 enforces the gates (zero hangs, zero leaked
+// goroutines, clean drain, survivable fault rates); reaching the write means
+// they passed.
+func writeBench10JSON(path string, scale float64, sessions, tenants int) error {
+	s, err := bench.RunPR10(scale, sessions, tenants)
+	if err != nil {
+		return err
+	}
+	ch := s.Chaos
+	fmt.Printf("chaos swarm: %d sessions x %d tenants, %d requests (%d ok) in %v (%.0f ok/s), p50 %v p99 %v\n",
+		ch.Sessions, ch.Tenants, ch.Requests, ch.OK, ch.Wall.Round(time.Millisecond),
+		ch.Throughput, ch.P50.Round(time.Microsecond), ch.P99.Round(time.Microsecond))
+	fmt.Printf("rejection mix: %v | proxy: %d resets %d torn %d corrupt | drain: adm %d cmp %d drop %d\n",
+		ch.RejectionMix, ch.Proxy.Resets, ch.Proxy.Torn, ch.Proxy.Corrupted,
+		ch.Drain.Admitted, ch.Drain.Completed, ch.Drain.Dropped)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

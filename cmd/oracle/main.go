@@ -42,11 +42,19 @@ func main() {
 		simple   = flag.Bool("simple", false, "restrict the workload to single-table queries")
 		duration = flag.Duration("duration", 0, "long mode: loop over seeds until this much time has passed")
 		failFile = flag.String("failure-file", "oracle-failures.txt", "long mode: write failing seeds here")
+		chaosRun = flag.Bool("chaos", false, "run the network chaos sweep instead of the correctness oracles")
+		sessions = flag.Int("sessions", 16, "chaos mode: concurrent client sessions")
+		requests = flag.Int("requests", 20, "chaos mode: requests per session")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *chaosRun {
+		runChaosMode(ctx, *seed, *sessions, *requests, *duration, *failFile)
+		return
+	}
 
 	if *duration <= 0 {
 		findings, err := runSeed(*seed, *queries, *meta, *samples, *scale, *zipf, *simple)
@@ -98,6 +106,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("oracle: %d seeds clean in %s\n", ran, *duration)
+}
+
+// runChaosMode runs the network chaos sweep: a real server behind the
+// fault-injecting proxy, robustness invariants asserted after the swarm.
+// With -duration it loops over fresh seeds until the budget is spent (the
+// nightly soak); otherwise it runs exactly -seed once (the CI smoke).
+func runChaosMode(ctx context.Context, seed int64, sessions, requests int, duration time.Duration, failFile string) {
+	deadline := time.Now().Add(duration)
+	var failed []int64
+	s := seed
+	for {
+		findings, err := runChaosSeed(s, sessions, requests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracle: chaos seed %d: %v\n", s, err)
+			failed = append(failed, s)
+		} else if findings > 0 {
+			failed = append(failed, s)
+		}
+		s++
+		if duration <= 0 || !time.Now().Before(deadline) || ctx.Err() != nil {
+			break
+		}
+	}
+	ran := s - seed
+	if len(failed) > 0 {
+		if f, err := os.Create(failFile); err == nil {
+			for _, fs := range failed {
+				fmt.Fprintf(f, "%d\n", fs)
+			}
+			f.Close()
+		}
+		fmt.Printf("oracle: chaos %d/%d seeds FAILED: %v (repro: oracle -chaos -seed <n>)\n",
+			len(failed), ran, failed)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle: chaos %d seeds clean\n", ran)
+}
+
+// runChaosSeed runs one chaos sweep and prints its findings and summary.
+func runChaosSeed(seed int64, sessions, requests int) (int, error) {
+	start := time.Now()
+	rep, err := oracle.RunChaosSweep(oracle.ChaosOptions{
+		Seed:               seed,
+		Sessions:           sessions,
+		RequestsPerSession: requests,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("FAIL %s\n", f)
+	}
+	fmt.Printf("chaos seed %-6d %4d requests (%d ok, %d typed, %d transport, %d hangs) | proxy: %d resets %d torn %d corrupt | drain: adm %d cmp %d drop %d | %d findings | %.1fs\n",
+		seed, rep.Requests, rep.OK, rep.TypedErrs, rep.Transport, rep.Hangs,
+		rep.Proxy.Resets, rep.Proxy.Torn, rep.Proxy.Corrupted,
+		rep.Drain.Admitted, rep.Drain.Completed, rep.Drain.Dropped,
+		len(rep.Findings), time.Since(start).Seconds())
+	return len(rep.Findings), nil
 }
 
 // runSeed runs all five oracles once for the given seed and prints every

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autostats/client"
+	"autostats/internal/chaos"
+	"autostats/internal/protocol"
+	"autostats/internal/resilience"
+	"autostats/internal/server"
+)
+
+// ChaosSwarmConfig shapes the PR 10 chaos swarm: the PR 8 swarm run through
+// the fault-injecting proxy with the server's robustness limits enabled.
+type ChaosSwarmConfig struct {
+	Sessions           int
+	Tenants            int
+	RequestsPerSession int
+	// Seed drives the proxy's fault decisions.
+	Seed int64
+	// Latency is injected per forwarded chunk per direction (default 10ms).
+	Latency time.Duration
+	// FaultProb is the per-chunk probability of each fault kind — corrupt,
+	// tear, reset (default 0.01).
+	FaultProb float64
+	// TenantRPS enables the server's per-tenant quota so rate_limited shows
+	// up in the rejection mix (default 500).
+	TenantRPS float64
+}
+
+func (c *ChaosSwarmConfig) fill() {
+	if c.Sessions <= 0 {
+		c.Sessions = 1000
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.RequestsPerSession <= 0 {
+		c.RequestsPerSession = 4
+	}
+	if c.Latency == 0 {
+		c.Latency = 10 * time.Millisecond
+	}
+	if c.FaultProb == 0 {
+		c.FaultProb = 0.01
+	}
+	if c.TenantRPS == 0 {
+		c.TenantRPS = 500
+	}
+}
+
+// ChaosSwarmResult aggregates the chaos swarm. Unlike the clean PR 8 swarm,
+// failures are EXPECTED here — the proxy is tearing frames and resetting
+// connections — so they are classified into a rejection mix rather than
+// failing the run. The gates are the robustness invariants: zero hangs,
+// zero leaked goroutines, a clean drain.
+type ChaosSwarmResult struct {
+	Sessions   int
+	Tenants    int
+	Requests   int64
+	OK         int64
+	Wall       time.Duration
+	Throughput float64 // successful requests per second
+	P50        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	// RejectionMix buckets every failed request by cause: the typed protocol
+	// codes (rate_limited, overloaded, timeout, draining, ...) plus conn_lost
+	// (in-flight transport loss) and transport (dial/other).
+	RejectionMix map[string]int64
+	// Hangs counts calls exceeding the 30s hang budget — the gate is 0.
+	Hangs int64
+	Proxy chaos.Stats
+	Drain server.DrainReport
+	// GoroutinesLeaked is the post-shutdown goroutine count above the
+	// pre-start baseline that never settled — the gate is 0.
+	GoroutinesLeaked int
+}
+
+// PR10Summary is the machine-readable bundle for the network-robustness PR,
+// serialized to BENCH_PR10.json by cmd/experiments -benchjson10. Gates:
+// Hangs == 0, GoroutinesLeaked == 0, Drain.Dropped == 0, OK > 0.
+type PR10Summary struct {
+	Scale float64
+	Chaos *ChaosSwarmResult
+}
+
+const chaosHangBudget = 30 * time.Second
+
+// classifyRejection buckets one failed request for the rejection mix.
+func classifyRejection(err error) string {
+	switch {
+	case errors.Is(err, protocol.ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, protocol.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, protocol.ErrTimeout):
+		return "server_timeout"
+	case errors.Is(err, protocol.ErrDraining):
+		return "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "client_timeout"
+	case errors.Is(err, client.ErrConnLost):
+		return "conn_lost"
+	case strings.Contains(err.Error(), "protocol: "):
+		return "protocol_other"
+	default:
+		return "transport"
+	}
+}
+
+// RunChaosSwarm starts a hardened in-process server, fronts it with the
+// fault-injecting proxy, and drives the full swarm through the chaos.
+func RunChaosSwarm(scale float64, cfg ChaosSwarmConfig) (*ChaosSwarmResult, error) {
+	cfg.fill()
+	baselineGoroutines := runtime.NumGoroutine()
+
+	srv, err := server.New(server.Config{
+		Addr:               "127.0.0.1:0",
+		Workers:            8,
+		QueueDepth:         2 * cfg.Sessions,
+		MaxTenants:         cfg.Tenants + 1,
+		ReadTimeout:        30 * time.Second,
+		WriteTimeout:       10 * time.Second,
+		RequestTimeout:     15 * time.Second,
+		MaxInflightPerConn: 64,
+		TenantRPS:          cfg.TenantRPS,
+		NewTenant:          tenantFactory(scale),
+		Name:               "chaos-swarm",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	proxy, err := chaos.New(srv.Addr().String(), chaos.Config{
+		Seed:        cfg.Seed,
+		Latency:     cfg.Latency,
+		Jitter:      cfg.Latency / 2,
+		CorruptProb: cfg.FaultProb,
+		TearProb:    cfg.FaultProb,
+		ResetProb:   cfg.FaultProb,
+	})
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		return nil, err
+	}
+
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		okCalls   atomic.Int64
+		hangs     atomic.Int64
+		mixMu     sync.Mutex
+		mix       = make(map[string]int64)
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	reject := func(err error) {
+		mixMu.Lock()
+		mix[classifyRejection(err)]++
+		mixMu.Unlock()
+	}
+
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%cfg.Tenants)
+			c, err := client.Dial(proxy.Addr().String(), client.Options{
+				Tenant:         tenant,
+				DialTimeout:    5 * time.Second,
+				HelloTimeout:   5 * time.Second,
+				RequestTimeout: 20 * time.Second,
+				Retry:          resilience.Retry{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond},
+			})
+			if err != nil {
+				reject(err)
+				return
+			}
+			defer c.Close()
+			local := make([]time.Duration, 0, cfg.RequestsPerSession)
+			for j := 0; j < cfg.RequestsPerSession; j++ {
+				sql := swarmTemplates[(i+j)%len(swarmTemplates)]
+				requests.Add(1)
+				t0 := time.Now()
+				ctx, cancel := context.WithTimeout(context.Background(), chaosHangBudget)
+				_, err := c.Exec(ctx, sql)
+				cancel()
+				d := time.Since(t0)
+				if d >= chaosHangBudget {
+					hangs.Add(1)
+				}
+				if err != nil {
+					reject(err)
+					continue // chaos killed this request; the session carries on
+				}
+				okCalls.Add(1)
+				local = append(local, d)
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &ChaosSwarmResult{
+		Sessions:     cfg.Sessions,
+		Tenants:      cfg.Tenants,
+		Requests:     requests.Load(),
+		OK:           okCalls.Load(),
+		Wall:         wall,
+		Hangs:        hangs.Load(),
+		RejectionMix: mix,
+		Proxy:        proxy.Stats(),
+	}
+	if wall > 0 {
+		res.Throughput = float64(res.OK) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		res.P50 = latencies[len(latencies)/2]
+		res.P99 = latencies[len(latencies)*99/100]
+		res.Max = latencies[len(latencies)-1]
+	}
+
+	proxy.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	res.Drain = srv.Shutdown(sctx)
+	cancel()
+
+	// Let connection and pump goroutines unwind before measuring the leak.
+	const slack = 5
+	leaked := 0
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		leaked = runtime.NumGoroutine() - baselineGoroutines
+		if leaked <= slack || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if leaked > slack {
+		res.GoroutinesLeaked = leaked
+	}
+	return res, nil
+}
+
+// RunPR10 gathers the network-robustness benchmark bundle: the full-size
+// swarm run through 10ms/1% chaos with quotas, deadlines, and slow-client
+// defense enabled.
+func RunPR10(scale float64, sessions, tenants int) (*PR10Summary, error) {
+	res, err := RunChaosSwarm(scale, ChaosSwarmConfig{
+		Sessions: sessions,
+		Tenants:  tenants,
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Hangs != 0 {
+		return nil, fmt.Errorf("bench: %d requests hung past %v under chaos", res.Hangs, chaosHangBudget)
+	}
+	if res.GoroutinesLeaked != 0 {
+		return nil, fmt.Errorf("bench: %d goroutines leaked after the chaos swarm", res.GoroutinesLeaked)
+	}
+	if res.Drain.Dropped != 0 {
+		return nil, fmt.Errorf("bench: chaos drain dropped %d admitted requests", res.Drain.Dropped)
+	}
+	if res.OK == 0 {
+		return nil, errors.New("bench: no request survived the chaos — fault rates are supposed to be survivable")
+	}
+	return &PR10Summary{Scale: scale, Chaos: res}, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s *PR10Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

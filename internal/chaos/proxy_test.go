@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until the peer closes.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}(nc)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", p.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+// TestProxyPassThrough: a zero-config proxy must be byte-transparent.
+func TestProxyPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc := dialProxy(t, p)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(payload)
+	go func() {
+		nc.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("proxy corrupted bytes with no faults configured")
+	}
+	st := p.Stats()
+	if st.Resets != 0 || st.Torn != 0 || st.Corrupted != 0 {
+		t.Fatalf("zero-config proxy injected faults: %+v", st)
+	}
+}
+
+// TestProxyLatency: configured latency shows up in the round trip.
+func TestProxyLatency(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Config{Latency: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc := dialProxy(t, p)
+	start := time.Now()
+	if _, err := nc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Two pumps (c→s, s→c) each add 50ms.
+	if rtt := time.Since(start); rtt < 90*time.Millisecond {
+		t.Fatalf("round trip %v, want >= ~100ms of injected latency", rtt)
+	}
+}
+
+// TestProxyReset: ResetProb=1 severs the connection promptly — the client
+// sees a transport error, never a hang.
+func TestProxyReset(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Config{ResetProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc := dialProxy(t, p)
+	nc.Write([]byte("doomed"))
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("read succeeded through a reset-everything proxy")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("reset surfaced as a timeout — the peer hung instead of failing fast")
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatal("no reset recorded")
+	}
+}
+
+// TestProxyTear: TearProb=1 delivers a strict prefix then severs.
+func TestProxyTear(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Config{TearProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc := dialProxy(t, p)
+	payload := []byte("0123456789abcdef")
+	nc.Write(payload)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got, _ := io.ReadAll(nc) // reads until the injected reset
+	if len(got) >= len(payload) {
+		t.Fatalf("received %d bytes, want a strict prefix of %d", len(got), len(payload))
+	}
+	if !bytes.HasPrefix(payload, got) {
+		t.Fatalf("torn chunk %q is not a prefix of %q", got, payload)
+	}
+	if p.Stats().Torn == 0 {
+		t.Fatal("no torn frame recorded")
+	}
+}
+
+// TestProxyDeterminism: the same seed and the same chunk sequence produce
+// byte-identical corruption, so a failing chaos run replays from its seed.
+// Driven over net.Pipe (synchronous write/read pairing) so chunk boundaries
+// are deterministic — over real TCP the kernel decides them.
+func TestProxyDeterminism(t *testing.T) {
+	const chunk, chunks = 512, 64
+	payload := make([]byte, chunk*chunks)
+	rand.New(rand.NewSource(11)).Read(payload)
+
+	run := func() []byte {
+		srcA, srcB := net.Pipe()
+		dstA, dstB := net.Pipe()
+		p := &Proxy{cfg: Config{CorruptProb: 0.5, ChunkSize: chunk}, done: make(chan struct{})}
+		defer close(p.done)
+		go p.pump(dstA, srcB, rand.New(rand.NewSource(42)), &p.bytesIn)
+		go func() {
+			for i := 0; i < chunks; i++ {
+				srcA.Write(payload[i*chunk : (i+1)*chunk])
+			}
+			srcA.Close()
+		}()
+		got, err := io.ReadAll(dstB)
+		if err != nil {
+			t.Error(err)
+		}
+		return got
+	}
+
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed and traffic produced different corruption")
+	}
+	if len(a) != len(payload) {
+		t.Fatalf("forwarded %d bytes, want %d", len(a), len(payload))
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("CorruptProb=0.5 corrupted nothing across 64 chunks")
+	}
+}
+
+// TestProxyCloseSeversConnections: Close kills live proxied connections and
+// returns without leaking pump goroutines (Close waits on them).
+func TestProxyCloseSeversConnections(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String(), Config{Latency: time.Hour}) // pumps stuck sleeping
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := dialProxy(t, p)
+	nc.Write([]byte("stuck"))
+	time.Sleep(20 * time.Millisecond) // let the pump enter its sleep
+
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a sleeping pump")
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived proxy Close")
+	}
+}

@@ -1,0 +1,31 @@
+package oracle
+
+import "testing"
+
+// TestChaosSweepShort runs a CI-sized chaos sweep: a real server behind the
+// fault proxy, with every robustness invariant asserted. Any finding is a
+// bug in the server, client, or protocol layers.
+func TestChaosSweepShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep spins a full server; skipped in -short")
+	}
+	rep, err := RunChaosSweep(ChaosOptions{
+		Seed:               1,
+		Sessions:           6,
+		RequestsPerSession: 6,
+		Tenants:            2,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("%s: %s", f.Oracle, f.Detail)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("sweep issued no requests")
+	}
+	if rep.Hangs != 0 {
+		t.Fatalf("%d calls hung past the budget", rep.Hangs)
+	}
+}

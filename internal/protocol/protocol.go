@@ -57,6 +57,8 @@ const (
 	CodeUnknownOp   = "unknown_op"   // Request.Op not recognized
 	CodeVersion     = "version"      // protocol version mismatch in Hello
 	CodeTenantLimit = "tenant_limit" // tenant table full; no new tenants admitted
+	CodeRateLimited = "rate_limited" // per-tenant quota exceeded; retry after backoff
+	CodeTimeout     = "timeout"      // server-side request deadline expired
 	CodeSQL         = "sql_error"    // parse/plan/execution error for the statement
 	CodeInternal    = "internal"     // unexpected server-side failure
 )
@@ -76,6 +78,13 @@ var (
 	// ErrDraining reports a request rejected because the server is shutting
 	// down; in-flight requests still complete, new ones must go elsewhere.
 	ErrDraining = errors.New("protocol: server draining")
+	// ErrRateLimited reports a request rejected by the per-tenant quota
+	// (token bucket). The request was never admitted; retry after backoff.
+	ErrRateLimited = errors.New("protocol: tenant rate limited")
+	// ErrTimeout reports a request whose server-side deadline expired while
+	// it was executing. The operation was canceled through its context; side
+	// effects of completed phases (e.g. statistics already built) remain.
+	ErrTimeout = errors.New("protocol: request timed out on server")
 )
 
 // Request is one client→server message.
@@ -309,6 +318,10 @@ func (r *Response) Err() error {
 		return fmt.Errorf("%w (request %d)", ErrOverloaded, r.ID)
 	case CodeDraining:
 		return fmt.Errorf("%w (request %d)", ErrDraining, r.ID)
+	case CodeRateLimited:
+		return fmt.Errorf("%w (request %d)", ErrRateLimited, r.ID)
+	case CodeTimeout:
+		return fmt.Errorf("%w (request %d)", ErrTimeout, r.ID)
 	default:
 		return fmt.Errorf("protocol: %s: %s", r.Code, r.Error)
 	}

@@ -130,3 +130,45 @@ func TestEncodeFrameRespectsCap(t *testing.T) {
 		t.Fatalf("want ErrFrameTooLarge from encode, got %v", err)
 	}
 }
+
+func TestResponseErrRateLimitedAndTimeout(t *testing.T) {
+	if err := ErrResponse(3, CodeRateLimited, "quota").Err(); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("rate_limited code should map to ErrRateLimited, got %v", err)
+	}
+	if err := ErrResponse(4, CodeTimeout, "deadline").Err(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("timeout code should map to ErrTimeout, got %v", err)
+	}
+}
+
+// TestDecodeFrameAtMaxFrameBoundary pins the length-prefix edge cases: a
+// payload of exactly DefaultMaxFrame decodes, one byte more is rejected by
+// both the buffered and streaming paths, and the declared-length check uses
+// the payload length alone (the 4 header bytes never count against the cap).
+func TestDecodeFrameAtMaxFrameBoundary(t *testing.T) {
+	exact := make([]byte, DefaultMaxFrame)
+	for i := range exact {
+		exact[i] = byte('a' + i%26)
+	}
+	frame := AppendFrame(nil, exact)
+
+	payload, rest, err := DecodeFrame(frame, DefaultMaxFrame)
+	if err != nil || len(payload) != DefaultMaxFrame || len(rest) != 0 {
+		t.Fatalf("exactly-max frame: len=%d rest=%d err=%v", len(payload), len(rest), err)
+	}
+	if sp, serr := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame); serr != nil || len(sp) != DefaultMaxFrame {
+		t.Fatalf("exactly-max stream frame: len=%d err=%v", len(sp), serr)
+	}
+
+	// One past the cap: rejected before any payload is consumed.
+	over := AppendFrame(nil, append(exact, 'z'))
+	if _, _, err := DecodeFrame(over, DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("max+1 buffered: want ErrFrameTooLarge, got %v", err)
+	}
+	r := bytes.NewReader(over)
+	if _, err := ReadFrame(r, DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("max+1 stream: want ErrFrameTooLarge, got %v", err)
+	}
+	if r.Len() != DefaultMaxFrame+1 {
+		t.Fatalf("max+1 stream consumed payload bytes: %d left, want %d", r.Len(), DefaultMaxFrame+1)
+	}
+}

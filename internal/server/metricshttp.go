@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"strings"
@@ -47,17 +48,46 @@ func wantJSON(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "application/json")
 }
 
-// ServeMetrics starts an HTTP server for reg on addr and returns its bound
-// address and a shutdown func. It exists so cmd/autostatsd's -metrics-addr
-// wiring stays one call.
-func ServeMetrics(addr string, reg *obs.Registry) (string, func() error, error) {
+// OpsHandler serves the metrics registry plus the health probes:
+//
+//	GET /healthz  — 200 while the process is alive (liveness)
+//	GET /readyz   — 200 once ready() is true, 503 otherwise (readiness:
+//	                listening and not draining); orchestrators and the
+//	                -wait-ready flag of cmd/autostatsd poll this
+//	GET /         — the metrics registry (text, or ?format=json)
+func OpsHandler(reg *obs.Registry, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.Handle("/", MetricsHandler(reg))
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// ServeOps starts an HTTP server for the ops surface (metrics + health
+// probes) on addr and returns its bound address and a shutdown func.
+func ServeOps(addr string, reg *obs.Registry, ready func() bool) (string, func() error, error) {
+	srv := &http.Server{Handler: OpsHandler(reg, ready)}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil
+}
+
+// ServeMetrics is ServeOps without a readiness gate (/readyz always 200) —
+// kept for callers that only want the registry.
+func ServeMetrics(addr string, reg *obs.Registry) (string, func() error, error) {
+	return ServeOps(addr, reg, nil)
 }

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter enforces a per-tenant token-bucket quota: each tenant's
+// bucket refills at rps tokens per second up to burst, and every admitted
+// request consumes one token. A tenant that exceeds its quota is rejected
+// with CodeRateLimited BEFORE admission control, so one hot tenant cannot
+// starve the shared worker queue — the multi-tenant fairness half of the
+// overload story (the queue bound is the aggregate half).
+//
+// Buckets are created lazily (full) on a tenant's first request and pruned
+// when the map grows past a bound, so hostile tenant-name churn cannot grow
+// the table without limit.
+type tenantLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTrackedBuckets bounds the bucket map; reaching it prunes entries idle
+// long enough to have refilled completely (their state is reconstructible).
+const maxTrackedBuckets = 4096
+
+// newTenantLimiter builds a limiter, or returns nil (no limiting) for rps <= 0.
+// burst <= 0 defaults to one second of quota, floored at 1.
+func newTenantLimiter(rps float64, burst int) *tenantLimiter {
+	if rps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rps
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &tenantLimiter{rps: rps, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow consumes one token from the tenant's bucket at time now, reporting
+// whether the request is within quota.
+func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.buckets[tenant]
+	if bk == nil {
+		if len(l.buckets) >= maxTrackedBuckets {
+			l.pruneLocked(now)
+		}
+		bk = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = bk
+	}
+	if elapsed := now.Sub(bk.last).Seconds(); elapsed > 0 {
+		bk.tokens += elapsed * l.rps
+		if bk.tokens > l.burst {
+			bk.tokens = l.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}
+
+// pruneLocked drops buckets idle long enough to be full again. A full bucket
+// carries no information a fresh one would not.
+func (l *tenantLimiter) pruneLocked(now time.Time) {
+	refill := time.Duration(l.burst / l.rps * float64(time.Second))
+	for name, bk := range l.buckets {
+		if now.Sub(bk.last) > refill {
+			delete(l.buckets, name)
+		}
+	}
+}

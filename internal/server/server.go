@@ -62,6 +62,35 @@ type Config struct {
 	// TenantIdleTTL evicts tenant systems idle this long (default 10m;
 	// negative disables eviction).
 	TenantIdleTTL time.Duration
+	// ReadTimeout caps the wait for the next request frame on a connection.
+	// It doubles as the idle timeout and the half-open/slow-loris defense: a
+	// client that stalls mid-frame or vanishes without FIN is evicted when
+	// the deadline fires (default 2m; negative disables).
+	ReadTimeout time.Duration
+	// WriteTimeout caps each response write to a client socket; a client
+	// that stops reading until the TCP window and the write queue are both
+	// full is evicted instead of pinning the writer (default 30s; negative
+	// disables).
+	WriteTimeout time.Duration
+	// RequestTimeout bounds one request's server-side execution, propagated
+	// as a context deadline into the tenant operation; expired requests
+	// answer CodeTimeout (default 0 = unbounded).
+	RequestTimeout time.Duration
+	// MaxInflightPerConn caps requests admitted but not yet answered on one
+	// connection; excess fast-fails with CodeOverloaded so a single
+	// pipelining client cannot monopolize the worker queue (default 256;
+	// negative disables).
+	MaxInflightPerConn int
+	// TenantRPS, when > 0, enforces a per-tenant token-bucket quota of this
+	// many requests per second; excess fast-fails with CodeRateLimited.
+	TenantRPS float64
+	// TenantBurst is the token-bucket depth for TenantRPS (default one
+	// second of quota).
+	TenantBurst int
+	// WriteQueue bounds responses buffered per connection awaiting the
+	// writer goroutine (default 256). A full queue evicts the connection —
+	// a slow consumer — instead of blocking workers on it.
+	WriteQueue int
 	// NewTenant builds the per-tenant system on first use. Required.
 	NewTenant func(name string) (*autostats.System, error)
 	// Obs receives the server's own metrics (default a fresh registry).
@@ -93,6 +122,18 @@ func (c *Config) fill() error {
 	}
 	if c.TenantIdleTTL == 0 {
 		c.TenantIdleTTL = 10 * time.Minute
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxInflightPerConn == 0 {
+		c.MaxInflightPerConn = 256
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 256
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
@@ -131,9 +172,11 @@ type Server struct {
 	ln      net.Listener
 	queue   chan task
 	tenants *tenantTable
+	limiter *tenantLimiter
 
 	stopCtx    context.Context // canceled when drain is forced; aborts long ops
 	stopCancel context.CancelFunc
+	started    atomic.Bool
 	draining   atomic.Bool
 	closed     chan struct{}
 	stopOnce   sync.Once
@@ -160,6 +203,17 @@ type serverMetrics struct {
 	opErrors      *obs.Counter
 	queueDepth    *obs.Gauge
 	opLatency     map[string]*obs.Timing
+
+	// Network-robustness counters (PR 10): evictions of misbehaving
+	// connections, per-tenant quota rejections, request timeouts and
+	// recovered panics.
+	connIdleEvicted *obs.Counter // reader deadline fired: idle or half-open
+	connSlowEvicted *obs.Counter // write queue full or write deadline fired
+	connInflightRej *obs.Counter // per-connection in-flight cap rejections
+	connPanics      *obs.Counter // recovered connection-goroutine panics
+	workerPanics    *obs.Counter // recovered worker/op panics
+	rejRateLimited  *obs.Counter // per-tenant token-bucket rejections
+	reqTimeouts     *obs.Counter // requests answering CodeTimeout
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -180,6 +234,14 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		opErrors:      reg.Counter("server.requests.op_errors"),
 		queueDepth:    reg.Gauge("server.queue.depth"),
 		opLatency:     lat,
+
+		connIdleEvicted: reg.Counter("server.conn.idle_evicted"),
+		connSlowEvicted: reg.Counter("server.conn.slow_evicted"),
+		connInflightRej: reg.Counter("server.conn.inflight_rejects"),
+		connPanics:      reg.Counter("server.conn.panics"),
+		workerPanics:    reg.Counter("server.worker.panics"),
+		rejRateLimited:  reg.Counter("server.tenant.rate_limited"),
+		reqTimeouts:     reg.Counter("server.requests.timeouts"),
 	}
 }
 
@@ -200,6 +262,7 @@ func New(cfg Config) (*Server, error) {
 		met:        newServerMetrics(cfg.Obs),
 	}
 	s.tenants = newTenantTable(cfg.NewTenant, cfg.MaxTenants, cfg.Obs)
+	s.limiter = newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst)
 	return s, nil
 }
 
@@ -226,8 +289,15 @@ func (s *Server) Start() error {
 	if s.cfg.TenantIdleTTL > 0 {
 		go s.tenants.janitor(s.closed, s.cfg.TenantIdleTTL)
 	}
+	s.started.Store(true)
 	return nil
 }
+
+// Ready reports the server is listening and not draining — the /readyz gate.
+func (s *Server) Ready() bool { return s.started.Load() && !s.draining.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Addr returns the bound listen address (nil before Start).
 func (s *Server) Addr() net.Addr {
@@ -254,6 +324,17 @@ func (s *Server) PlanCacheStats() optimizer.PlanCacheStats {
 		agg.Shards += st.Shards
 	})
 	return agg
+}
+
+// TenantPlanCacheStats returns each live tenant's plan-cache counters keyed
+// by tenant name — the per-tenant view the chaos sweep uses to prove tenant
+// isolation (one tenant's traffic never touches another tenant's cache).
+func (s *Server) TenantPlanCacheStats() map[string]optimizer.PlanCacheStats {
+	out := make(map[string]optimizer.PlanCacheStats)
+	s.tenants.forEach(func(name string, sys *autostats.System) {
+		out[name] = sys.PlanCacheStats()
+	})
+	return out
 }
 
 // Run serves until ctx is done, then drains gracefully with the given
@@ -312,11 +393,47 @@ func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.queue {
 		s.met.queueDepth.Add(-1)
-		resp := s.execute(t)
+		resp := s.safeExecute(t)
 		t.cn.send(resp)
+		t.cn.inflight.Add(-1)
 		s.met.completed.Inc()
 		t.cn.pending.Done()
 		s.inflight.Done()
+	}
+}
+
+// safeExecute runs execute with panic isolation: a panicking operation (an
+// optimizer bug, a misbehaving tenant factory) answers CodeInternal and the
+// worker survives to serve the next request — one poisoned request must
+// never take a worker slot down with it.
+func (s *Server) safeExecute(t task) (resp *protocol.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.workerPanics.Inc()
+			s.met.opErrors.Inc()
+			s.logf("worker panic executing %q: %v", t.req.Op, r)
+			resp = protocol.ErrResponse(t.req.ID, protocol.CodeInternal,
+				fmt.Sprintf("internal panic executing %s", t.req.Op))
+		}
+	}()
+	return s.execute(t)
+}
+
+// opErrResponse classifies an operation error into its protocol code: a
+// context deadline becomes the typed CodeTimeout, a drain cancellation
+// becomes CodeDraining, anything else is the statement's own CodeSQL error.
+func (s *Server) opErrResponse(id uint64, err error) *protocol.Response {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.reqTimeouts.Inc()
+		return protocol.ErrResponse(id, protocol.CodeTimeout,
+			fmt.Sprintf("request exceeded the server's %v deadline", s.cfg.RequestTimeout))
+	case errors.Is(err, context.Canceled):
+		return protocol.ErrResponse(id, protocol.CodeDraining,
+			"request canceled by server shutdown")
+	default:
+		s.met.opErrors.Inc()
+		return protocol.ErrResponse(id, protocol.CodeSQL, err.Error())
 	}
 }
 
@@ -330,6 +447,16 @@ func (s *Server) execute(t task) *protocol.Response {
 		}
 	}()
 
+	// The request deadline starts when a worker picks the task up: queue
+	// wait is already bounded by admission control, and restarting the clock
+	// here keeps the budget meaningful for the operation itself.
+	ctx := s.stopCtx
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
 	sys, release, err := s.tenants.acquire(t.tenant)
 	if err != nil {
 		if errors.Is(err, errTenantLimit) {
@@ -339,13 +466,17 @@ func (s *Server) execute(t task) *protocol.Response {
 		return protocol.ErrResponse(req.ID, protocol.CodeInternal, err.Error())
 	}
 	defer release()
+	// A slow tenant factory may have consumed the whole budget before the
+	// operation even starts; fail typed rather than starting doomed work.
+	if err := ctx.Err(); err != nil {
+		return s.opErrResponse(req.ID, err)
+	}
 
 	switch req.Op {
 	case protocol.OpExec:
-		r, err := sys.Exec(req.SQL)
+		r, err := sys.ExecCtx(ctx, req.SQL)
 		if err != nil {
-			s.met.opErrors.Inc()
-			return protocol.ErrResponse(req.ID, protocol.CodeSQL, err.Error())
+			return s.opErrResponse(req.ID, err)
 		}
 		return &protocol.Response{ID: req.ID, Exec: &protocol.ExecResult{
 			Columns:       r.Columns,
@@ -357,10 +488,9 @@ func (s *Server) execute(t task) *protocol.Response {
 			Degraded:      r.Degraded,
 		}}
 	case protocol.OpExplain:
-		plan, err := sys.Explain(req.SQL)
+		plan, err := sys.ExplainCtx(ctx, req.SQL)
 		if err != nil {
-			s.met.opErrors.Inc()
-			return protocol.ErrResponse(req.ID, protocol.CodeSQL, err.Error())
+			return s.opErrResponse(req.ID, err)
 		}
 		return &protocol.Response{ID: req.ID, Plan: plan}
 	case protocol.OpTune:
@@ -377,10 +507,9 @@ func (s *Server) execute(t task) *protocol.Response {
 			opts.Shrink = p.Shrink
 			opts.Parallelism = p.Parallelism
 		}
-		rep, err := sys.TuneWorkloadCtx(s.stopCtx, sqls, opts)
+		rep, err := sys.TuneWorkloadCtx(ctx, sqls, opts)
 		if err != nil {
-			s.met.opErrors.Inc()
-			return protocol.ErrResponse(req.ID, protocol.CodeSQL, err.Error())
+			return s.opErrResponse(req.ID, err)
 		}
 		return &protocol.Response{ID: req.ID, Tune: &protocol.TuneResult{
 			Created:           rep.Created,
@@ -408,10 +537,9 @@ func (s *Server) execute(t task) *protocol.Response {
 		}
 		return &protocol.Response{ID: req.ID, Stats: rows}
 	case protocol.OpMaintain:
-		rep, err := sys.RunMaintenanceCtx(s.stopCtx)
+		rep, err := sys.RunMaintenanceCtx(ctx)
 		if err != nil {
-			s.met.opErrors.Inc()
-			return protocol.ErrResponse(req.ID, protocol.CodeSQL, err.Error())
+			return s.opErrResponse(req.ID, err)
 		}
 		return &protocol.Response{ID: req.ID, Maintain: &protocol.MaintResult{
 			TablesRefreshed: rep.TablesRefreshed,
@@ -496,10 +624,29 @@ func (s *Server) handleRequest(cn *conn, req *protocol.Request) {
 		return
 	}
 
+	// Per-tenant quota, checked before the shared queue so one hot tenant
+	// sheds its own load instead of everyone's.
+	if s.limiter != nil && !s.limiter.allow(tenant, time.Now()) {
+		s.met.rejRateLimited.Inc()
+		cn.send(protocol.ErrResponse(req.ID, protocol.CodeRateLimited,
+			fmt.Sprintf("tenant %q over its %g req/s quota; retry with backoff", tenant, s.cfg.TenantRPS)))
+		return
+	}
+
+	// Per-connection in-flight cap: a single client pipelining thousands of
+	// requests must not be able to fill the worker queue by itself.
+	if max := s.cfg.MaxInflightPerConn; max > 0 && cn.inflight.Load() >= int64(max) {
+		s.met.connInflightRej.Inc()
+		cn.send(protocol.ErrResponse(req.ID, protocol.CodeOverloaded,
+			fmt.Sprintf("connection has %d requests in flight (cap %d); read responses before pipelining more", max, max)))
+		return
+	}
+
 	// Admission control: the Add happens BEFORE the enqueue so a worker can
 	// never complete the task before it is accounted in-flight; a full queue
 	// rolls the accounting back and fast-fails.
 	cn.pending.Add(1)
+	cn.inflight.Add(1)
 	s.inflight.Add(1)
 	select {
 	case s.queue <- task{cn: cn, req: req, tenant: tenant}:
@@ -507,6 +654,7 @@ func (s *Server) handleRequest(cn *conn, req *protocol.Request) {
 		s.met.admitted.Inc()
 	default:
 		cn.pending.Done()
+		cn.inflight.Add(-1)
 		s.inflight.Done()
 		s.met.rejOverload.Inc()
 		cn.send(protocol.ErrResponse(req.ID, protocol.CodeOverloaded,
@@ -604,7 +752,9 @@ func (s *Server) Shutdown(ctx context.Context) DrainReport {
 
 // conn is one client connection: a reader goroutine (framing + admission), a
 // writer goroutine (response serialization), and a bounded response channel
-// between workers and the writer.
+// between workers and the writer. Both goroutines run under per-I/O
+// deadlines and panic isolation, so a hostile or broken peer can cost the
+// server at most this one connection — never a worker, never the process.
 type conn struct {
 	srv    *Server
 	nc     net.Conn
@@ -614,6 +764,9 @@ type conn struct {
 	// pending counts requests admitted from this connection whose responses
 	// have not yet been enqueued; the reader waits on it before closing out.
 	pending sync.WaitGroup
+	// inflight counts admitted-but-unanswered requests for the
+	// MaxInflightPerConn cap (reader checks, workers decrement).
+	inflight atomic.Int64
 	// tenant is the connection-default tenant set by hello (reader
 	// goroutine only).
 	tenant string
@@ -623,13 +776,13 @@ func newConn(s *Server, nc net.Conn) *conn {
 	return &conn{
 		srv:  s,
 		nc:   nc,
-		out:  make(chan *protocol.Response, 128),
+		out:  make(chan *protocol.Response, s.cfg.WriteQueue),
 		dead: make(chan struct{}),
 	}
 }
 
-// kill marks the connection dead and closes the socket, unblocking both the
-// reader (Read error) and any worker parked in send.
+// kill marks the connection dead and closes the socket, unblocking the
+// reader (Read error) and making every later send a cheap discard.
 func (cn *conn) kill() {
 	cn.deadMu.Do(func() {
 		close(cn.dead)
@@ -637,25 +790,72 @@ func (cn *conn) kill() {
 	})
 }
 
-// send enqueues a response unless the connection is dead. Completed work on
-// a dead connection is discarded — that is the client's loss, not a drain
-// drop (the work finished).
+// send enqueues a response without ever blocking the caller. A full queue
+// means the client is consuming responses slower than it pipelines requests
+// — a slow (or stopped) reader — and the connection is evicted rather than
+// parking a shared worker on it. Completed work on a dead connection is
+// discarded — that is the client's loss, not a drain drop (the work
+// finished).
 func (cn *conn) send(resp *protocol.Response) {
 	select {
 	case cn.out <- resp:
 	case <-cn.dead:
+	default:
+		cn.srv.met.connSlowEvicted.Inc()
+		cn.srv.logf("evicting slow consumer %s: write queue full (%d)", cn.nc.RemoteAddr(), cap(cn.out))
+		cn.kill()
 	}
 }
 
 func (cn *conn) readLoop() {
 	defer cn.srv.connWG.Done()
+	cn.readFrames()
+	// Every admitted request must have its response enqueued before the
+	// writer is told to finish — this wait is the per-connection half of the
+	// zero-drop drain guarantee. Workers never block on send, so this wait
+	// is bounded by request execution, not by the peer.
+	cn.pending.Wait()
+	close(cn.out)
+	cn.srv.removeConn(cn)
+}
+
+// readFrames is the reader's frame loop, isolated so a panic (a protocol
+// handler bug) tears down this connection only, with the drain accounting
+// in readLoop still running.
+func (cn *conn) readFrames() {
+	defer func() {
+		if r := recover(); r != nil {
+			cn.srv.met.connPanics.Inc()
+			cn.srv.logf("connection reader panic: %v", r)
+			cn.kill()
+		}
+	}()
 	br := bufio.NewReaderSize(cn.nc, 16<<10)
 	for {
+		// Deadline before the draining check: if the drain poke lands after
+		// this SetReadDeadline, the read still times out promptly; if it
+		// landed before, the draining check below breaks the loop. Either
+		// order wakes the reader — no missed-poke window.
+		if to := cn.srv.cfg.ReadTimeout; to > 0 {
+			cn.nc.SetReadDeadline(time.Now().Add(to))
+		}
+		if cn.srv.draining.Load() {
+			break
+		}
 		req, err := protocol.ReadRequest(br, cn.srv.cfg.MaxFrame)
 		if err != nil {
 			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() && cn.srv.draining.Load() {
-				break // drain woke us; finish pending and close
+			if errors.As(err, &ne) && ne.Timeout() {
+				if cn.srv.draining.Load() {
+					break // drain woke us; finish pending and close
+				}
+				// The peer went quiet past the read deadline: an idle
+				// client, a half-open connection (peer vanished without
+				// FIN), or a slow-loris feed stalling mid-frame. Evict it;
+				// the reader goroutine is reclaimed either way.
+				cn.srv.met.connIdleEvicted.Inc()
+				cn.srv.logf("evicting idle/half-open connection %s after %v", cn.nc.RemoteAddr(), cn.srv.cfg.ReadTimeout)
+				break
 			}
 			if errors.Is(err, protocol.ErrFrameTooLarge) || strings.Contains(err.Error(), "malformed request") {
 				cn.srv.met.badRequests.Inc()
@@ -665,21 +865,37 @@ func (cn *conn) readLoop() {
 		}
 		cn.srv.handleRequest(cn, req)
 	}
-	// Every admitted request must have its response enqueued before the
-	// writer is told to finish — this wait is the per-connection half of the
-	// zero-drop drain guarantee.
-	cn.pending.Wait()
-	close(cn.out)
-	cn.srv.removeConn(cn)
 }
 
 func (cn *conn) writeLoop() {
 	defer cn.srv.connWG.Done()
+	cn.writeFrames()
+	// If writeFrames panicked mid-loop, keep draining so the reader's
+	// close(out) is never stranded; on a closed channel this is a no-op.
+	for range cn.out {
+	}
+	cn.nc.Close()
+}
+
+// writeFrames serializes responses until the out channel closes or the
+// connection dies, under a per-write deadline: a peer that stops reading
+// until TCP backpressure reaches us is evicted, not waited on.
+func (cn *conn) writeFrames() {
+	defer func() {
+		if r := recover(); r != nil {
+			cn.srv.met.connPanics.Inc()
+			cn.srv.logf("connection writer panic: %v", r)
+			cn.kill()
+		}
+	}()
 	bw := bufio.NewWriterSize(cn.nc, 16<<10)
 	var werr error
 	for resp := range cn.out {
 		if werr != nil {
-			continue // connection dead; drain the channel so senders finish
+			continue // connection dead; drain the channel so close proceeds
+		}
+		if to := cn.srv.cfg.WriteTimeout; to > 0 {
+			cn.nc.SetWriteDeadline(time.Now().Add(to))
 		}
 		werr = protocol.WriteFrame(bw, resp, cn.srv.cfg.MaxFrame)
 		if errors.Is(werr, protocol.ErrFrameTooLarge) {
@@ -692,13 +908,20 @@ func (cn *conn) writeLoop() {
 			werr = bw.Flush()
 		}
 		if werr != nil {
+			var ne net.Error
+			if errors.As(werr, &ne) && ne.Timeout() {
+				cn.srv.met.connSlowEvicted.Inc()
+				cn.srv.logf("evicting slow consumer %s: write stalled past %v", cn.nc.RemoteAddr(), cn.srv.cfg.WriteTimeout)
+			}
 			cn.kill()
 		}
 	}
 	if werr == nil {
+		if to := cn.srv.cfg.WriteTimeout; to > 0 {
+			cn.nc.SetWriteDeadline(time.Now().Add(to))
+		}
 		bw.Flush()
 	}
-	cn.nc.Close()
 }
 
 func defaultWorkers() int {

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -323,7 +325,13 @@ func TestServerDrainCompletesInflight(t *testing.T) {
 		repCh <- s.Shutdown(ctx)
 	}()
 
-	time.Sleep(50 * time.Millisecond) // let Shutdown reach inflight.Wait
+	// Wait for Shutdown to actually start draining (no arbitrary sleep).
+	for deadline := time.Now().Add(10 * time.Second); !s.Draining(); {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(release)
 
 	// Both admitted requests must get responses before the connection closes.
@@ -375,5 +383,271 @@ func TestServerDrainRejectsNewConnections(t *testing.T) {
 func TestServerConfigValidation(t *testing.T) {
 	if _, err := server.New(server.Config{}); err == nil {
 		t.Fatal("New accepted a config without NewTenant")
+	}
+}
+
+// waitCounter polls an obs counter until it reaches want or the deadline
+// passes; eviction and panic accounting is asynchronous to the triggering
+// write, so tests must not read the counter immediately.
+func waitCounter(t *testing.T, s *server.Server, name string, want int64) int64 {
+	t.Helper()
+	var v int64
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		v = s.Obs().Counter(name).Value()
+		if v >= want || time.Now().After(deadline) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerIdleEviction: a connection that goes silent (the half-open case
+// — a peer that vanished without a FIN looks identical to the server's read
+// loop) is evicted within the read timeout, with the eviction counted.
+func TestServerIdleEviction(t *testing.T) {
+	s := startServer(t, server.Config{ReadTimeout: 200 * time.Millisecond})
+	c := dialServer(t, s)
+	c.hello("idle")
+	// Go silent. The server must close the connection on its own.
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := protocol.ReadResponse(c.br, 0); err == nil {
+		t.Fatal("idle connection still alive past the read timeout")
+	}
+	if v := waitCounter(t, s, "server.conn.idle_evicted", 1); v < 1 {
+		t.Fatalf("server.conn.idle_evicted = %d, want >= 1", v)
+	}
+}
+
+// TestServerHalfOpenMidRequestVanish: the client sends a request and then
+// vanishes abruptly (RST, no FIN) before the response. The worker must not
+// wedge — the server keeps serving new connections and drains cleanly.
+func TestServerHalfOpenMidRequestVanish(t *testing.T) {
+	s := startServer(t, server.Config{ReadTimeout: 500 * time.Millisecond})
+	c := dialServer(t, s)
+	c.hello("ghost")
+	c.write(&protocol.Request{ID: 2, Op: protocol.OpExec, SQL: "SELECT * FROM orders WHERE o_orderkey > 10"})
+	// Vanish without a FIN: linger 0 turns Close into a reset.
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.nc.Close()
+
+	// The worker that picked up the doomed request must be reclaimed: a
+	// fresh connection round-trips fine and shutdown balances its books.
+	c2 := dialServer(t, s)
+	c2.hello("alive")
+	if resp := c2.rt(&protocol.Request{ID: 2, Op: protocol.OpStats}); resp.Code != protocol.CodeOK {
+		t.Fatalf("server unhealthy after half-open client: %+v", resp)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	rep := s.Shutdown(ctx)
+	if rep.Dropped != 0 || rep.Forced {
+		t.Fatalf("drain after half-open client: %+v", rep)
+	}
+}
+
+// TestServerSlowClientEvicted: a client that sends requests but never reads
+// responses is evicted (bounded write queue + write deadline) instead of
+// wedging workers behind a full TCP window.
+func TestServerSlowClientEvicted(t *testing.T) {
+	s := startServer(t, server.Config{
+		Workers:      4,
+		WriteTimeout: 300 * time.Millisecond,
+		WriteQueue:   2,
+	})
+	c := dialServer(t, s)
+	c.hello("loris")
+	// Pipeline many full-table scans and never read a byte back. The
+	// responses overflow the socket buffers, the write deadline fires, and
+	// the connection is killed.
+	for i := 0; i < 256; i++ {
+		c.write(&protocol.Request{ID: uint64(2 + i), Op: protocol.OpExec,
+			SQL: "SELECT * FROM lineitem WHERE l_quantity > 0"})
+	}
+	if v := waitCounter(t, s, "server.conn.slow_evicted", 1); v < 1 {
+		t.Fatalf("server.conn.slow_evicted = %d, want >= 1", v)
+	}
+	// The pool is free again: a well-behaved connection still round-trips.
+	c2 := dialServer(t, s)
+	c2.hello("polite")
+	if resp := c2.rt(&protocol.Request{ID: 2, Op: protocol.OpStats}); resp.Code != protocol.CodeOK {
+		t.Fatalf("server unhealthy after slow-client eviction: %+v", resp)
+	}
+}
+
+// TestServerInflightCap: one connection cannot occupy more than
+// MaxInflightPerConn worker/queue slots; the excess fast-fails with
+// CodeOverloaded while other connections proceed.
+func TestServerInflightCap(t *testing.T) {
+	factory, started, release := blockingFactory()
+	s := startServer(t, server.Config{
+		Workers: 1, QueueDepth: 8, MaxInflightPerConn: 2, NewTenant: factory})
+	c := dialServer(t, s)
+	c.hello("hog")
+
+	// First request wedges the worker; second sits in the queue. Both count
+	// against this connection's in-flight cap.
+	c.write(&protocol.Request{ID: 2, Op: protocol.OpStats})
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never wedged")
+	}
+	c.write(&protocol.Request{ID: 3, Op: protocol.OpStats})
+	// Third request breaches the cap and must fast-fail even though the
+	// shared queue still has room.
+	resp := c.rt(&protocol.Request{ID: 4, Op: protocol.OpStats})
+	if resp.Code != protocol.CodeOverloaded {
+		t.Fatalf("over-cap request got %q, want overloaded", resp.Code)
+	}
+	if !strings.Contains(resp.Error, "in flight") {
+		t.Fatalf("over-cap message %q does not mention the in-flight cap", resp.Error)
+	}
+	if v := s.Obs().Counter("server.conn.inflight_rejects").Value(); v != 1 {
+		t.Fatalf("server.conn.inflight_rejects = %d, want 1", v)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if resp := c.read(); resp.Code != protocol.CodeInternal {
+			t.Fatalf("wedged request resolved %q, want internal", resp.Code)
+		}
+	}
+}
+
+// TestServerTenantRateLimit: a tenant over its req/s quota is rejected with
+// the stable rate_limited code, mapped to ErrRateLimited client-side.
+func TestServerTenantRateLimit(t *testing.T) {
+	s := startServer(t, server.Config{TenantRPS: 1, TenantBurst: 1})
+	c := dialServer(t, s)
+	c.hello("greedy")
+	if resp := c.rt(&protocol.Request{ID: 2, Op: protocol.OpStats}); resp.Code != protocol.CodeOK {
+		t.Fatalf("first request within quota failed: %+v", resp)
+	}
+	resp := c.rt(&protocol.Request{ID: 3, Op: protocol.OpStats})
+	if resp.Code != protocol.CodeRateLimited {
+		t.Fatalf("second request got %q, want rate_limited", resp.Code)
+	}
+	if err := resp.Err(); !errors.Is(err, protocol.ErrRateLimited) {
+		t.Fatalf("rate-limited response maps to %v, want ErrRateLimited", err)
+	}
+	if v := s.Obs().Counter("server.tenant.rate_limited").Value(); v < 1 {
+		t.Fatalf("server.tenant.rate_limited = %d, want >= 1", v)
+	}
+	// Hellos and metrics are not rate limited — the quota protects workers,
+	// not the control plane.
+	if resp := c.rt(&protocol.Request{ID: 4, Op: protocol.OpMetrics}); resp.Code != protocol.CodeOK {
+		t.Fatalf("metrics should bypass the tenant quota: %+v", resp)
+	}
+}
+
+// TestServerRequestTimeout: an operation that exceeds the server-side
+// request deadline resolves with the typed timeout code instead of holding
+// a worker indefinitely.
+func TestServerRequestTimeout(t *testing.T) {
+	slowFactory := func(name string) (*autostats.System, error) {
+		time.Sleep(300 * time.Millisecond)
+		return tpcdFactory(name)
+	}
+	s := startServer(t, server.Config{
+		RequestTimeout: 50 * time.Millisecond, NewTenant: slowFactory})
+	c := dialServer(t, s)
+	c.hello("slow")
+	resp := c.rt(&protocol.Request{ID: 2, Op: protocol.OpStats})
+	if resp.Code != protocol.CodeTimeout {
+		t.Fatalf("slow request got %q, want timeout", resp.Code)
+	}
+	if err := resp.Err(); !errors.Is(err, protocol.ErrTimeout) {
+		t.Fatalf("timeout response maps to %v, want ErrTimeout", err)
+	}
+	if v := s.Obs().Counter("server.requests.timeouts").Value(); v < 1 {
+		t.Fatalf("server.requests.timeouts = %d, want >= 1", v)
+	}
+}
+
+// TestServerWorkerPanicRecovery: a panic inside request execution (here: a
+// factory handing back a nil system) resolves as CodeInternal and is
+// counted; the worker survives to serve the next request.
+func TestServerWorkerPanicRecovery(t *testing.T) {
+	s := startServer(t, server.Config{
+		NewTenant: func(string) (*autostats.System, error) { return nil, nil }})
+	c := dialServer(t, s)
+	c.hello("nilsys")
+	resp := c.rt(&protocol.Request{ID: 2, Op: protocol.OpStats})
+	if resp.Code != protocol.CodeInternal || !strings.Contains(resp.Error, "panic") {
+		t.Fatalf("panicking request got %+v, want internal panic error", resp)
+	}
+	if v := s.Obs().Counter("server.worker.panics").Value(); v != 1 {
+		t.Fatalf("server.worker.panics = %d, want 1", v)
+	}
+	// The worker recovered: the connection still answers.
+	if resp := c.rt(&protocol.Request{ID: 3, Op: protocol.OpMetrics}); resp.Code != protocol.CodeOK {
+		t.Fatalf("worker did not survive the panic: %+v", resp)
+	}
+}
+
+// TestServerTenantFactoryPanic: a panicking tenant factory surfaces as an
+// error (not a poisoned sync.Once), and the next request retries cleanly.
+func TestServerTenantFactoryPanic(t *testing.T) {
+	var calls int32
+	s := startServer(t, server.Config{
+		NewTenant: func(name string) (*autostats.System, error) {
+			if atomic.AddInt32(&calls, 1) == 1 {
+				panic("synthetic factory explosion")
+			}
+			return tpcdFactory(name)
+		}})
+	c := dialServer(t, s)
+	c.hello("boom")
+	resp := c.rt(&protocol.Request{ID: 2, Op: protocol.OpStats})
+	if resp.Code != protocol.CodeInternal || !strings.Contains(resp.Error, "panicked") {
+		t.Fatalf("factory panic surfaced as %+v, want internal ...panicked...", resp)
+	}
+	if v := s.Obs().Counter("server.tenant.factory_panics").Value(); v != 1 {
+		t.Fatalf("server.tenant.factory_panics = %d, want 1", v)
+	}
+	// The failed entry was dropped; the retry builds the tenant for real.
+	if resp := c.rt(&protocol.Request{ID: 3, Op: protocol.OpStats}); resp.Code != protocol.CodeOK {
+		t.Fatalf("tenant never recovered from the factory panic: %+v", resp)
+	}
+}
+
+// TestServerHealthEndpoints: /healthz is always 200; /readyz tracks
+// Started-and-not-draining.
+func TestServerHealthEndpoints(t *testing.T) {
+	cfg := server.Config{Addr: "127.0.0.1:0", NewTenant: tpcdFactory}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := server.OpsHandler(s.Obs(), s.Ready)
+	status := func(path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	if got := status("/healthz"); got != 200 {
+		t.Fatalf("/healthz before start = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != 503 {
+		t.Fatalf("/readyz before start = %d, want 503", got)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != 200 {
+		t.Fatalf("/readyz after start = %d, want 200", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	if got := status("/readyz"); got != 503 {
+		t.Fatalf("/readyz after shutdown = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != 200 {
+		t.Fatalf("/healthz after shutdown = %d, want 200 (liveness, not readiness)", got)
+	}
+	if got := status("/"); got != 200 {
+		t.Fatalf("/ (metrics) = %d, want 200", got)
 	}
 }

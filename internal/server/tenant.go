@@ -43,6 +43,7 @@ type tenantTable struct {
 	created *obs.Counter
 	evicted *obs.Counter
 	failed  *obs.Counter
+	panics  *obs.Counter
 	live    *obs.Gauge
 }
 
@@ -54,6 +55,7 @@ func newTenantTable(factory func(string) (*autostats.System, error), limit int, 
 		created: reg.Counter("server.tenants.created"),
 		evicted: reg.Counter("server.tenants.evicted"),
 		failed:  reg.Counter("server.tenants.create_failures"),
+		panics:  reg.Counter("server.tenant.factory_panics"),
 		live:    reg.Gauge("server.tenants.live"),
 	}
 }
@@ -77,7 +79,18 @@ func (t *tenantTable) acquire(name string) (sys *autostats.System, release func(
 
 	e.once.Do(func() {
 		defer close(e.ready)
-		e.sys, e.err = t.factory(name)
+		// A panicking factory must not leave the entry half-initialized
+		// behind a spent sync.Once: recover it into an ordinary error, which
+		// the failed-entry retry below then drops for a fresh attempt.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.panics.Inc()
+					e.err = fmt.Errorf("server: tenant %q factory panicked: %v", name, r)
+				}
+			}()
+			e.sys, e.err = t.factory(name)
+		}()
 		if e.err == nil {
 			t.created.Inc()
 			t.live.Add(1)
